@@ -1,0 +1,65 @@
+// Command psp-client is the open-loop Poisson load generator for
+// psp-server: it offers a configured request rate over UDP, matches
+// responses by request ID, and reports client-observed latency per
+// request type.
+//
+// Usage:
+//
+//	psp-client -addr 127.0.0.1:9940 -workload high-bimodal -rate 5000 -duration 10s
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	persephone "repro"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9940", "server UDP address")
+	workloadName := flag.String("workload", "high-bimodal", "workload mix (type ratios)")
+	rate := flag.Float64("rate", 5000, "offered requests per second")
+	duration := flag.Duration("duration", 5*time.Second, "generation duration")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	mix, err := persephone.MixByName(*workloadName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	res, err := persephone.GenerateLoadUDP(*addr, persephone.LoadConfig{
+		Mix:      mix,
+		Rate:     *rate,
+		Duration: *duration,
+		Seed:     *seed,
+		BuildPayload: func(typ int) []byte {
+			// 2-byte type + 4 bytes of per-request entropy, matching
+			// psp-server's applications.
+			p := make([]byte, 8)
+			binary.LittleEndian.PutUint16(p[0:2], uint16(typ))
+			binary.LittleEndian.PutUint32(p[2:6], uint32(typ*2654435761))
+			return p
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("sent %d  received %d  dropped/lost %d  achieved %.0f rps\n",
+		res.Sent, res.Received, res.Dropped, res.AchievedRate())
+	for i, h := range res.Latency {
+		if h.Count() == 0 {
+			continue
+		}
+		fmt.Printf("  %-12s n=%-8d p50=%-12v p99=%-12v p999=%v\n",
+			mix.Types[i].Name, h.Count(),
+			h.QuantileDuration(0.50), h.QuantileDuration(0.99), h.QuantileDuration(0.999))
+	}
+	fmt.Printf("  %-12s n=%-8d p50=%-12v p99=%-12v p999=%v\n",
+		"all", res.Overall.Count(),
+		res.Overall.QuantileDuration(0.50), res.Overall.QuantileDuration(0.99), res.Overall.QuantileDuration(0.999))
+}

@@ -1,0 +1,68 @@
+// Command psp-experiments regenerates the paper's tables and figures
+// on the discrete-event simulator.
+//
+// Usage:
+//
+//	psp-experiments -artifact all
+//	psp-experiments -artifact figure1 -duration 2s -csv results/
+//	psp-experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	persephone "repro"
+)
+
+func main() {
+	artifact := flag.String("artifact", "all", "artifact to regenerate (figure1..figure10, table1/3/4/5, or 'all')")
+	duration := flag.Duration("duration", time.Second, "simulated duration per load point")
+	seed := flag.Uint64("seed", 42, "random seed")
+	loads := flag.String("loads", "", "comma-separated load fractions (default paper grid)")
+	csvDir := flag.String("csv", "", "directory for CSV output (optional)")
+	parallel := flag.Int("parallel", 0, "max concurrent simulations (default NumCPU)")
+	window := flag.Uint64("profile-window", 0, "DARC profiling window samples (default 5000)")
+	list := flag.Bool("list", false, "list artifacts and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range persephone.ExperimentNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	opt := persephone.ExperimentOptions{
+		Duration:         *duration,
+		Seed:             *seed,
+		CSVDir:           *csvDir,
+		Parallel:         *parallel,
+		MinWindowSamples: *window,
+	}
+	if *loads != "" {
+		for _, part := range strings.Split(*loads, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil || v <= 0 || v > 1 {
+				fmt.Fprintf(os.Stderr, "bad load %q\n", part)
+				os.Exit(2)
+			}
+			opt.Loads = append(opt.Loads, v)
+		}
+	}
+
+	var err error
+	if *artifact == "all" {
+		err = persephone.RunAllExperiments(opt, os.Stdout)
+	} else {
+		err = persephone.RunExperiment(*artifact, opt, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

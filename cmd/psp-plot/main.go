@@ -1,0 +1,135 @@
+// Command psp-plot turns the CSVs written by psp-experiments into
+// self-contained SVG line charts (paper-figure shaped: load on X,
+// p99.9 slowdown on a log Y).
+//
+// Usage:
+//
+//	psp-experiments -artifact figure1 -csv results
+//	psp-plot -in results/figure1.csv -out figure1.svg
+//	psp-plot -in results/figure8.csv -x load -y '*_slowdown_p999' -log
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/svgplot"
+)
+
+func main() {
+	in := flag.String("in", "", "input CSV (from psp-experiments -csv)")
+	out := flag.String("out", "", "output SVG (default: input with .svg)")
+	xcol := flag.String("x", "load", "X column name")
+	ypat := flag.String("y", "*_slowdown_p999", "Y column glob (matches series columns)")
+	logY := flag.Bool("log", true, "log-scale Y axis")
+	title := flag.String("title", "", "chart title (default: file name)")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "psp-plot: -in is required")
+		os.Exit(2)
+	}
+	if err := run(*in, *out, *xcol, *ypat, *logY, *title); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out, xcol, ypat string, logY bool, title string) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return err
+	}
+	if len(rows) < 2 {
+		return fmt.Errorf("psp-plot: %s has no data rows", in)
+	}
+	header := rows[0]
+	xi := -1
+	var yis []int
+	for i, h := range header {
+		if h == xcol {
+			xi = i
+		}
+		if globMatch(ypat, h) {
+			yis = append(yis, i)
+		}
+	}
+	if xi < 0 {
+		return fmt.Errorf("psp-plot: no column %q in %v", xcol, header)
+	}
+	if len(yis) == 0 {
+		return fmt.Errorf("psp-plot: no columns match %q in %v", ypat, header)
+	}
+
+	chart := &svgplot.Chart{
+		Title:  title,
+		XLabel: xcol,
+		YLabel: strings.TrimPrefix(ypat, "*_"),
+		LogY:   logY,
+	}
+	if chart.Title == "" {
+		chart.Title = strings.TrimSuffix(filepath.Base(in), ".csv")
+	}
+	for _, yi := range yis {
+		s := svgplot.Series{Name: seriesName(header[yi], ypat)}
+		for _, row := range rows[1:] {
+			if yi >= len(row) || xi >= len(row) {
+				continue
+			}
+			x, errX := strconv.ParseFloat(row[xi], 64)
+			y, errY := strconv.ParseFloat(row[yi], 64)
+			if errX != nil || errY != nil {
+				continue // non-numeric cells (e.g. "starved") are skipped
+			}
+			s.X = append(s.X, x)
+			s.Y = append(s.Y, y)
+		}
+		if len(s.X) > 0 {
+			chart.Series = append(chart.Series, s)
+		}
+	}
+	if out == "" {
+		out = strings.TrimSuffix(in, ".csv") + ".svg"
+	}
+	o, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer o.Close()
+	if err := chart.Render(o); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d series)\n", out, len(chart.Series))
+	return nil
+}
+
+// globMatch supports a single '*' wildcard.
+func globMatch(pat, s string) bool {
+	i := strings.IndexByte(pat, '*')
+	if i < 0 {
+		return pat == s
+	}
+	prefix, suffix := pat[:i], pat[i+1:]
+	return len(s) >= len(prefix)+len(suffix) &&
+		strings.HasPrefix(s, prefix) && strings.HasSuffix(s, suffix)
+}
+
+// seriesName strips the glob's fixed parts from a matched column.
+func seriesName(col, pat string) string {
+	i := strings.IndexByte(pat, '*')
+	if i < 0 {
+		return col
+	}
+	name := strings.TrimPrefix(col, pat[:i])
+	return strings.TrimSuffix(name, pat[i+1:])
+}

@@ -1,0 +1,171 @@
+// Command psp-server runs the live Perséphone runtime over UDP with
+// one of three built-in applications:
+//
+//   - synthetic: requests spin for their type's service time (pick a
+//     workload to define the types);
+//   - kv: an in-memory ordered store with GET (point lookup) and SCAN
+//     (5000-key range scan) — the RocksDB stand-in;
+//   - tpcc: the five TPC-C transactions over the in-memory database.
+//
+// Requests carry their type in the first two payload bytes (little
+// endian), matching cmd/psp-client. Stop with Ctrl-C; a stats summary
+// prints on shutdown.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	persephone "repro"
+	"repro/internal/kvstore"
+	"repro/internal/proto"
+	"repro/internal/spin"
+	"repro/internal/tpcc"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9940", "UDP listen address")
+	workers := flag.Int("workers", 4, "application worker goroutines")
+	app := flag.String("app", "synthetic", "application: synthetic, kv, tpcc")
+	workloadName := flag.String("workload", "high-bimodal", "synthetic app: workload defining per-type service times")
+	cfcfs := flag.Bool("cfcfs", false, "run the c-FCFS baseline instead of DARC")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /healthz on this address (e.g. 127.0.0.1:9941)")
+	flag.Parse()
+
+	cfg, err := buildApp(*app, *workloadName, *workers, *cfcfs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	udp, err := persephone.ServeUDP(*addr, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("psp-server: %s app on %s, %d workers, policy %s\n",
+		*app, udp.Addr(), *workers, policyName(*cfcfs))
+	if *metricsAddr != "" {
+		bound, shutdown, err := udp.Server.ServeMetrics(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer shutdown() //nolint:errcheck
+		fmt.Printf("metrics on http://%s/metrics\n", bound)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+
+	st := udp.Server.StatsSnapshot()
+	udp.Close()
+	fmt.Printf("\nenqueued %d  dispatched %d  dropped %d  reservation updates %d  rx drops %d\n",
+		st.Enqueued, st.Dispatched, st.Dropped, st.Updates, udp.RxDrops())
+	for _, row := range st.Summaries {
+		fmt.Printf("  %-10s n=%-8d p50=%-12v p999=%-12v slowdown999=%.1fx\n",
+			row.Name, row.Completed, row.P50, row.P999, row.Slowdown999)
+	}
+}
+
+func policyName(cfcfs bool) string {
+	if cfcfs {
+		return "c-FCFS"
+	}
+	return "DARC"
+}
+
+func buildApp(app, workloadName string, workers int, cfcfs bool) (persephone.LiveConfig, error) {
+	base := persephone.LiveConfig{Workers: workers, UseCFCFS: cfcfs}
+	switch strings.ToLower(app) {
+	case "synthetic":
+		mix, err := persephone.MixByName(workloadName)
+		if err != nil {
+			return base, err
+		}
+		services := make([]time.Duration, len(mix.Types))
+		for i, t := range mix.Types {
+			services[i] = t.Service.Mean()
+		}
+		spin.Calibrate(100 * time.Millisecond)
+		base.Classifier = persephone.FieldClassifier(0, len(mix.Types))
+		base.Handler = persephone.HandlerFunc(func(typ int, payload, resp []byte) (int, proto.Status) {
+			if typ >= 0 && typ < len(services) {
+				spin.For(services[typ])
+			}
+			return copy(resp, payload), proto.StatusOK
+		})
+		return base, nil
+
+	case "kv":
+		store := kvstore.New(1)
+		for i := 0; i < 5000; i++ {
+			store.Put([]byte(fmt.Sprintf("key%06d", i)), make([]byte, 64))
+		}
+		base.Classifier = persephone.FieldClassifier(0, 2)
+		base.Handler = persephone.HandlerFunc(func(typ int, payload, resp []byte) (int, proto.Status) {
+			switch typ {
+			case 0: // GET: key index in payload[2:6]
+				idx := uint32(0)
+				if len(payload) >= 6 {
+					idx = binary.LittleEndian.Uint32(payload[2:6]) % 5000
+				}
+				key := fmt.Sprintf("key%06d", idx)
+				if v, ok := store.Get([]byte(key)); ok {
+					return copy(resp, v), proto.StatusOK
+				}
+				return 0, proto.StatusError
+			case 1: // SCAN over 5000 keys
+				entries, total := store.ScanCount(nil, 5000)
+				binary.LittleEndian.PutUint32(resp[0:4], uint32(entries))
+				binary.LittleEndian.PutUint32(resp[4:8], uint32(total))
+				return 8, proto.StatusOK
+			default:
+				return 0, proto.StatusError
+			}
+		})
+		return base, nil
+
+	case "tpcc":
+		db := tpcc.New(tpcc.Default(), 1)
+		base.Classifier = persephone.FieldClassifier(0, tpcc.NumTransactions())
+		base.Handler = persephone.HandlerFunc(func(typ int, payload, resp []byte) (int, proto.Status) {
+			var seedA, seedB int
+			if len(payload) >= 6 {
+				seedA = int(binary.LittleEndian.Uint16(payload[2:4]))
+				seedB = int(binary.LittleEndian.Uint16(payload[4:6]))
+			}
+			d := seedA % db.Districts()
+			c := seedB % db.Customers()
+			var err error
+			switch tpcc.Transaction(typ) {
+			case tpcc.Payment:
+				err = db.PaymentTxn(d, c, int64(seedB%10000+1))
+			case tpcc.OrderStatus:
+				_, err = db.OrderStatusTxn(d, c)
+			case tpcc.NewOrder:
+				_, err = db.NewOrderTxn(d, c)
+			case tpcc.Delivery:
+				db.DeliveryTxn()
+			case tpcc.StockLevel:
+				_, err = db.StockLevelTxn(d, 60)
+			default:
+				return 0, proto.StatusError
+			}
+			if err != nil {
+				return 0, proto.StatusError
+			}
+			return 0, proto.StatusOK
+		})
+		return base, nil
+
+	default:
+		return base, fmt.Errorf("unknown app %q (synthetic, kv, tpcc)", app)
+	}
+}

@@ -1,0 +1,72 @@
+// Command psp-sim runs a single scheduling simulation and prints the
+// per-type tail latency and slowdown summary.
+//
+// Usage:
+//
+//	psp-sim -workload extreme-bimodal -policy darc -workers 16 -load 0.9
+//	psp-sim -workload tpcc -policy shinjuku-mq -load 0.7 -duration 2s
+//	psp-sim -workload high-bimodal -policy darc-static:2 -load 0.95
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	persephone "repro"
+)
+
+func main() {
+	workloadName := flag.String("workload", "high-bimodal", "workload: high-bimodal, extreme-bimodal, tpcc, rocksdb")
+	policyName := flag.String("policy", "darc", "scheduling policy (see -policies)")
+	workers := flag.Int("workers", 14, "number of worker cores")
+	load := flag.Float64("load", 0.8, "offered load as a fraction of peak")
+	rate := flag.Float64("rate", 0, "absolute arrival rate in requests/second (overrides -load)")
+	duration := flag.Duration("duration", time.Second, "simulated duration")
+	rtt := flag.Duration("rtt", 10*time.Microsecond, "network round-trip added to end-to-end latency")
+	seed := flag.Uint64("seed", 42, "random seed")
+	policies := flag.Bool("policies", false, "list policies and exit")
+	flag.Parse()
+
+	if *policies {
+		for _, p := range persephone.PolicyNames() {
+			fmt.Println(p)
+		}
+		return
+	}
+
+	mix, err := persephone.MixByName(*workloadName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	res, err := persephone.Simulate(persephone.SimConfig{
+		Workers:      *workers,
+		Mix:          mix,
+		Policy:       *policyName,
+		LoadFraction: *load,
+		Rate:         *rate,
+		Duration:     *duration,
+		RTT:          *rtt,
+		Seed:         *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload   %s (peak %.3f Mrps on %d workers)\n", mix.Name, mix.PeakLoad(*workers)/1e6, *workers)
+	fmt.Printf("policy     %s\n", res.Policy)
+	fmt.Printf("offered    %.3f Mrps   achieved %.3f Mrps   utilization %.1f%%\n",
+		res.OfferedRPS/1e6, res.ThroughputRPS/1e6, res.Utilization*100)
+	fmt.Printf("completed  %d   dropped %d\n", res.Completed, res.Dropped)
+	fmt.Printf("overall    p99.9 latency %v   p99.9 slowdown %.1fx\n", res.OverallP999, res.OverallSlowdown)
+	fmt.Println()
+	fmt.Printf("%-12s %10s %10s %12s %12s %12s %10s\n",
+		"type", "completed", "dropped", "p50", "p99", "p99.9", "slowdown")
+	for _, t := range res.Types {
+		fmt.Printf("%-12s %10d %10d %12v %12v %12v %9.1fx\n",
+			t.Name, t.Completed, t.Dropped, t.P50, t.P99, t.P999, t.SlowdownP999)
+	}
+}

@@ -1,0 +1,203 @@
+// Command psp-trace records, inspects, transforms and replays arrival
+// traces.
+//
+// Usage:
+//
+//	psp-trace record -workload extreme-bimodal -rate 1e6 -duration 1s -out trace.csv
+//	psp-trace record -workload high-bimodal -bursty -burst-factor 4 -out bursty.csv
+//	psp-trace info -in trace.csv
+//	psp-trace scale -in trace.csv -factor 0.5 -out faster.csv
+//	psp-trace replay -in trace.csv -policy darc -workers 14
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	persephone "repro"
+	"repro/internal/rng"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "record":
+		err = record(args)
+	case "info":
+		err = info(args)
+	case "scale":
+		err = scale(args)
+	case "replay":
+		err = replay(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: psp-trace {record|info|scale|replay} [flags]")
+	os.Exit(2)
+}
+
+type sourceAdapter struct{ s *workload.Source }
+
+func (a sourceAdapter) Next() (time.Duration, int, time.Duration) {
+	arr := a.s.Next()
+	return arr.Gap, arr.Type, arr.Service
+}
+
+func record(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	workloadName := fs.String("workload", "high-bimodal", "workload mix")
+	rate := fs.Float64("rate", 100000, "average arrival rate (requests/second)")
+	duration := fs.Duration("duration", time.Second, "trace length")
+	seed := fs.Uint64("seed", 1, "random seed")
+	out := fs.String("out", "", "output file (default stdout)")
+	bursty := fs.Bool("bursty", false, "use an on/off MMPP instead of plain Poisson")
+	burstFactor := fs.Float64("burst-factor", 4, "bursty: rate multiplier during bursts")
+	meanOn := fs.Duration("burst-on", 5*time.Millisecond, "bursty: mean burst length")
+	meanOff := fs.Duration("burst-off", 15*time.Millisecond, "bursty: mean quiet length")
+	fs.Parse(args) //nolint:errcheck
+
+	mix, err := persephone.MixByName(*workloadName)
+	if err != nil {
+		return err
+	}
+	var gen trace.Generator
+	if *bursty {
+		b, err := workload.NewBurstySource(mix, *rate, *burstFactor, *meanOn, *meanOff, rng.New(*seed))
+		if err != nil {
+			return err
+		}
+		gen = b
+	} else {
+		src, err := workload.NewSource(mix, *rate, rng.New(*seed))
+		if err != nil {
+			return err
+		}
+		gen = sourceAdapter{src}
+	}
+	tr := trace.Generate(gen, *duration)
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "recorded %d arrivals over %v (avg %.0f rps)\n", tr.Len(), tr.Duration(), tr.Rate())
+	return nil
+}
+
+func readTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Read(f)
+}
+
+func info(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "", "trace file")
+	fs.Parse(args) //nolint:errcheck
+	tr, err := readTrace(*in)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("records   %d\n", tr.Len())
+	fmt.Printf("duration  %v\n", tr.Duration())
+	fmt.Printf("avg rate  %.0f rps\n", tr.Rate())
+	fmt.Printf("types     %d\n", tr.NumTypes())
+	counts := make([]int, tr.NumTypes())
+	var totalSvc time.Duration
+	for _, r := range tr.Records {
+		counts[r.Type]++
+		totalSvc += r.Service
+	}
+	for i, c := range counts {
+		fmt.Printf("  type %d: %d (%.1f%%)\n", i, c, 100*float64(c)/float64(tr.Len()))
+	}
+	fmt.Printf("offered work %.3f core-seconds\n", totalSvc.Seconds())
+	return nil
+}
+
+func scale(args []string) error {
+	fs := flag.NewFlagSet("scale", flag.ExitOnError)
+	in := fs.String("in", "", "trace file")
+	factor := fs.Float64("factor", 1, "offset multiplier (<1 compresses = higher load)")
+	out := fs.String("out", "", "output file (default stdout)")
+	fs.Parse(args) //nolint:errcheck
+	tr, err := readTrace(*in)
+	if err != nil {
+		return err
+	}
+	scaled := tr.Scale(*factor)
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return scaled.Write(w)
+}
+
+func replay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("in", "", "trace file")
+	policyName := fs.String("policy", "darc", "scheduling policy")
+	workers := fs.Int("workers", 14, "worker cores")
+	workloadName := fs.String("workload", "high-bimodal", "mix used for type names and policy hints")
+	seed := fs.Uint64("seed", 42, "seed for stochastic policies")
+	fs.Parse(args) //nolint:errcheck
+
+	tr, err := readTrace(*in)
+	if err != nil {
+		return err
+	}
+	mix, err := persephone.MixByName(*workloadName)
+	if err != nil {
+		return err
+	}
+	res, err := persephone.ReplayTrace(tr, persephone.SimConfig{
+		Workers: *workers,
+		Mix:     mix,
+		Policy:  *policyName,
+		Seed:    *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("policy     %s\n", res.Policy)
+	fmt.Printf("replayed   %d arrivals at %.0f rps\n", tr.Len(), res.OfferedRPS)
+	fmt.Printf("completed  %d  dropped %d\n", res.Completed, res.Dropped)
+	fmt.Printf("overall    p99.9 %v  slowdown999 %.1fx\n", res.OverallP999, res.OverallSlowdown)
+	for _, ts := range res.Types {
+		if ts.Completed == 0 {
+			continue
+		}
+		fmt.Printf("  %-12s n=%-8d p999=%v\n", ts.Name, ts.Completed, ts.P999)
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+// Package persephone is a from-scratch Go reproduction of
+// "When Idling is Ideal: Optimizing Tail-Latency for Heavy-Tailed
+// Datacenter Workloads with Perséphone" (SOSP 2021).
+//
+// The package is the public facade over the repository's internals:
+//
+//   - Simulate runs the discrete-event simulator that regenerates the
+//     paper's quantitative results: pick a workload (HighBimodal,
+//     ExtremeBimodal, TPCC, RocksDB or a custom Mix), a scheduling
+//     policy by name (DARC, c-FCFS, d-FCFS, shenango, shinjuku-sq,
+//     shinjuku-mq, ts-ideal, fp, sjf, darc-static:N) and a load.
+//
+//   - NewLiveServer runs the live runtime: a real dispatcher/worker
+//     pipeline over lock-free rings, driven by DARC, with user-defined
+//     request classifiers and handlers, in-process or over UDP.
+//
+//   - RunExperiment regenerates any of the paper's tables and figures
+//     by name ("figure1" ... "figure10", "table1" ...).
+//
+// See README.md for a tour and DESIGN.md for the system inventory.
+package persephone

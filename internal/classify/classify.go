@@ -1,0 +1,213 @@
+// Package classify implements the paper's request-classifier API
+// (§4.2): user-defined functions that map an application payload
+// (layer 4 and above) to a request type. Classifiers are
+// "bumps-in-the-wire" on the dispatch critical path, so the built-in
+// ones are allocation-free.
+package classify
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Unknown is returned for unrecognizable requests; the dispatcher
+// routes them to a low-priority queue served by spillway cores.
+const Unknown = -1
+
+// Classifier maps a request payload to a type ID in [0, NumTypes), or
+// Unknown. Implementations must be safe for use from the single
+// dispatcher goroutine (no shared mutable state is required).
+type Classifier interface {
+	// Classify inspects the payload and returns its type.
+	Classify(payload []byte) int
+	// NumTypes reports how many types the classifier can produce.
+	NumTypes() int
+	// Name identifies the classifier in logs.
+	Name() string
+}
+
+// Func adapts a plain function into a Classifier.
+type Func struct {
+	F     func([]byte) int
+	Types int
+	Label string
+}
+
+// Classify implements Classifier.
+func (f Func) Classify(p []byte) int { return f.F(p) }
+
+// NumTypes implements Classifier.
+func (f Func) NumTypes() int { return f.Types }
+
+// Name implements Classifier.
+func (f Func) Name() string {
+	if f.Label != "" {
+		return f.Label
+	}
+	return "func"
+}
+
+// Field reads the type directly from a fixed little-endian uint16
+// field in the payload — the optimized path for protocols that carry
+// the type in their header (the paper measured ≈100ns for this).
+type Field struct {
+	// Offset of the uint16 type field within the payload.
+	Offset int
+	// Types is the number of valid types; values beyond it are Unknown.
+	Types int
+}
+
+// Classify implements Classifier.
+func (f Field) Classify(p []byte) int {
+	if f.Offset < 0 || len(p) < f.Offset+2 {
+		return Unknown
+	}
+	t := int(binary.LittleEndian.Uint16(p[f.Offset:]))
+	if t >= f.Types {
+		return Unknown
+	}
+	return t
+}
+
+// NumTypes implements Classifier.
+func (f Field) NumTypes() int { return f.Types }
+
+// Name implements Classifier.
+func (f Field) Name() string { return fmt.Sprintf("field@%d", f.Offset) }
+
+// Command classifies text protocols whose first whitespace-delimited
+// token is a command name (memcached's "get"/"set", our TPC-C and KV
+// examples). Matching is case-insensitive ASCII.
+type Command struct {
+	// CommandTypes maps upper-case command names to type IDs.
+	CommandTypes map[string]int
+	// Types is the number of distinct type IDs.
+	Types int
+}
+
+// NewCommand builds a Command classifier from command-name → type
+// pairs; type IDs are densely assigned in the order given.
+func NewCommand(commands ...string) *Command {
+	c := &Command{CommandTypes: make(map[string]int, len(commands))}
+	for _, name := range commands {
+		up := toUpper(name)
+		if _, dup := c.CommandTypes[up]; !dup {
+			c.CommandTypes[up] = c.Types
+			c.Types++
+		}
+	}
+	return c
+}
+
+// Classify implements Classifier.
+func (c *Command) Classify(p []byte) int {
+	tok := firstToken(p)
+	if len(tok) == 0 || len(tok) > 32 {
+		return Unknown
+	}
+	var upper [32]byte
+	for i, b := range tok {
+		if 'a' <= b && b <= 'z' {
+			b -= 'a' - 'A'
+		}
+		upper[i] = b
+	}
+	if t, ok := c.CommandTypes[string(upper[:len(tok)])]; ok {
+		return t
+	}
+	return Unknown
+}
+
+// NumTypes implements Classifier.
+func (c *Command) NumTypes() int { return c.Types }
+
+// Name implements Classifier.
+func (c *Command) Name() string { return "command" }
+
+// RESP classifies Redis-serialization-protocol requests: an array of
+// bulk strings whose first element is the command, e.g.
+// "*2\r\n$3\r\nGET\r\n$3\r\nfoo\r\n". Inline commands ("GET foo\r\n")
+// are also accepted.
+type RESP struct {
+	inner *Command
+}
+
+// NewRESP builds a RESP classifier over the given command names.
+func NewRESP(commands ...string) *RESP {
+	return &RESP{inner: NewCommand(commands...)}
+}
+
+// Classify implements Classifier.
+func (r *RESP) Classify(p []byte) int {
+	if len(p) == 0 {
+		return Unknown
+	}
+	if p[0] != '*' {
+		// Inline command form.
+		return r.inner.Classify(p)
+	}
+	// Skip "*<n>\r\n".
+	i := bytes.IndexByte(p, '\n')
+	if i < 0 || i+1 >= len(p) || p[i+1] != '$' {
+		return Unknown
+	}
+	rest := p[i+1:]
+	// Skip "$<len>\r\n".
+	j := bytes.IndexByte(rest, '\n')
+	if j < 0 || j+1 >= len(rest) {
+		return Unknown
+	}
+	return r.inner.Classify(rest[j+1:])
+}
+
+// NumTypes implements Classifier.
+func (r *RESP) NumTypes() int { return r.inner.NumTypes() }
+
+// Name implements Classifier.
+func (r *RESP) Name() string { return "resp" }
+
+// Random assigns types uniformly at random, ignoring the payload —
+// the deliberately broken classifier of the paper's Figure 9
+// robustness experiment.
+type Random struct {
+	R     *rng.RNG
+	Types int
+}
+
+// Classify implements Classifier.
+func (r *Random) Classify([]byte) int { return r.R.Intn(r.Types) }
+
+// NumTypes implements Classifier.
+func (r *Random) NumTypes() int { return r.Types }
+
+// Name implements Classifier.
+func (r *Random) Name() string { return "random" }
+
+func firstToken(p []byte) []byte {
+	start := 0
+	for start < len(p) && isSpace(p[start]) {
+		start++
+	}
+	end := start
+	for end < len(p) && !isSpace(p[end]) {
+		end++
+	}
+	return p[start:end]
+}
+
+func isSpace(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\r' || b == '\n'
+}
+
+func toUpper(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if 'a' <= b[i] && b[i] <= 'z' {
+			b[i] -= 'a' - 'A'
+		}
+	}
+	return string(b)
+}

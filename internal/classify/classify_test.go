@@ -1,0 +1,132 @@
+package classify
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestFieldClassifier(t *testing.T) {
+	c := Field{Offset: 4, Types: 5}
+	p := make([]byte, 8)
+	binary.LittleEndian.PutUint16(p[4:], 3)
+	if got := c.Classify(p); got != 3 {
+		t.Fatalf("got %d", got)
+	}
+	binary.LittleEndian.PutUint16(p[4:], 9)
+	if got := c.Classify(p); got != Unknown {
+		t.Fatalf("out-of-range type classified as %d", got)
+	}
+	if got := c.Classify(p[:3]); got != Unknown {
+		t.Fatalf("short payload classified as %d", got)
+	}
+	if got := (Field{Offset: -1, Types: 1}).Classify(p); got != Unknown {
+		t.Fatalf("negative offset classified as %d", got)
+	}
+	if c.NumTypes() != 5 {
+		t.Fatal("NumTypes wrong")
+	}
+}
+
+func TestCommandClassifier(t *testing.T) {
+	c := NewCommand("GET", "SET", "SCAN")
+	cases := map[string]int{
+		"GET foo":        0,
+		"get foo":        0,
+		"  get  foo":     0,
+		"SET foo bar":    1,
+		"set\tfoo bar":   1,
+		"SCAN 0 100":     2,
+		"scan\r\n":       2,
+		"EVAL something": Unknown,
+		"":               Unknown,
+		"   ":            Unknown,
+	}
+	for payload, want := range cases {
+		if got := c.Classify([]byte(payload)); got != want {
+			t.Errorf("%q -> %d, want %d", payload, got, want)
+		}
+	}
+	if c.NumTypes() != 3 {
+		t.Fatalf("NumTypes %d", c.NumTypes())
+	}
+}
+
+func TestCommandDuplicateNames(t *testing.T) {
+	c := NewCommand("GET", "get", "SET")
+	if c.NumTypes() != 2 {
+		t.Fatalf("duplicate command created a type: %d", c.NumTypes())
+	}
+}
+
+func TestCommandOverlongToken(t *testing.T) {
+	c := NewCommand("GET")
+	long := make([]byte, 64)
+	for i := range long {
+		long[i] = 'A'
+	}
+	if got := c.Classify(long); got != Unknown {
+		t.Fatalf("overlong token classified as %d", got)
+	}
+}
+
+func TestRESPClassifier(t *testing.T) {
+	c := NewRESP("GET", "SET", "SCAN")
+	cases := map[string]int{
+		"*2\r\n$3\r\nGET\r\n$3\r\nfoo\r\n":              0,
+		"*3\r\n$3\r\nSET\r\n$3\r\nfoo\r\n$3\r\nbar\r\n": 1,
+		"*1\r\n$4\r\nSCAN\r\n":                          2,
+		"GET foo\r\n":                                   0, // inline form
+		"*2\r\n$4\r\nEVAL\r\n$1\r\nx\r\n":               Unknown,
+		"*2\r\nbroken":                                  Unknown,
+		"":                                              Unknown,
+		"*9":                                            Unknown,
+	}
+	for payload, want := range cases {
+		if got := c.Classify([]byte(payload)); got != want {
+			t.Errorf("%q -> %d, want %d", payload, got, want)
+		}
+	}
+}
+
+func TestRandomClassifierCoversAllTypes(t *testing.T) {
+	c := &Random{R: rng.New(1), Types: 4}
+	seen := make([]bool, 4)
+	for i := 0; i < 1000; i++ {
+		v := c.Classify(nil)
+		if v < 0 || v >= 4 {
+			t.Fatalf("random type %d out of range", v)
+		}
+		seen[v] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("type %d never produced", i)
+		}
+	}
+}
+
+func TestFuncClassifier(t *testing.T) {
+	c := Func{F: func(p []byte) int {
+		if len(p) > 10 {
+			return 1
+		}
+		return 0
+	}, Types: 2, Label: "size-based"}
+	if c.Classify(make([]byte, 20)) != 1 || c.Classify(nil) != 0 {
+		t.Fatal("func classifier wrong")
+	}
+	if c.Name() != "size-based" || c.NumTypes() != 2 {
+		t.Fatal("metadata wrong")
+	}
+	if (Func{}).Name() != "func" {
+		t.Fatal("default name wrong")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (Field{Offset: 2}).Name() == "" || NewCommand().Name() == "" || NewRESP().Name() == "" || (&Random{}).Name() == "" {
+		t.Fatal("classifier with empty name")
+	}
+}

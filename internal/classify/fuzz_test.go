@@ -1,0 +1,52 @@
+package classify
+
+import "testing"
+
+// FuzzRESP asserts the RESP parser never panics and always returns a
+// type in [Unknown, NumTypes) on arbitrary bytes.
+func FuzzRESP(f *testing.F) {
+	f.Add([]byte("*2\r\n$3\r\nGET\r\n$3\r\nfoo\r\n"))
+	f.Add([]byte("GET foo"))
+	f.Add([]byte("*"))
+	f.Add([]byte("*9999\r\n$"))
+	f.Add([]byte{0, 1, 2, 255})
+	c := NewRESP("GET", "SET", "SCAN")
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got := c.Classify(data)
+		if got < Unknown || got >= c.NumTypes() {
+			t.Fatalf("type %d out of range", got)
+		}
+	})
+}
+
+// FuzzCommand asserts the text-command classifier is total.
+func FuzzCommand(f *testing.F) {
+	f.Add([]byte("get foo"))
+	f.Add([]byte("   \t\r\n"))
+	f.Add([]byte{0xff, 0xfe})
+	c := NewCommand("GET", "SET", "DELETE", "INCR", "GETS")
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got := c.Classify(data)
+		if got < Unknown || got >= c.NumTypes() {
+			t.Fatalf("type %d out of range", got)
+		}
+	})
+}
+
+// FuzzField asserts the header-field classifier is total for arbitrary
+// offsets encoded in the corpus.
+func FuzzField(f *testing.F) {
+	f.Add(0, []byte{1, 0})
+	f.Add(4, []byte{0, 0, 0, 0, 2, 0})
+	f.Add(-3, []byte("x"))
+	f.Fuzz(func(t *testing.T, offset int, data []byte) {
+		if offset > 1<<20 || offset < -(1<<20) {
+			return
+		}
+		c := Field{Offset: offset, Types: 5}
+		got := c.Classify(data)
+		if got < Unknown || got >= 5 {
+			t.Fatalf("type %d out of range", got)
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package cluster
+
+// FIFO is a bounded first-come-first-served request queue backed by a
+// growable circular buffer. Policies use one per worker, one central,
+// or one per request type. A Cap of 0 means unbounded.
+type FIFO struct {
+	buf   []*Request
+	head  int
+	count int
+	// Cap bounds the queue; pushes beyond it fail so the policy can
+	// shed load (the paper's flow control drops from full typed
+	// queues).
+	Cap int
+}
+
+// Len reports queued requests.
+func (q *FIFO) Len() int { return q.count }
+
+// Empty reports whether the queue has no requests.
+func (q *FIFO) Empty() bool { return q.count == 0 }
+
+// Push appends r and reports whether it was admitted (false when the
+// queue is at capacity).
+func (q *FIFO) Push(r *Request) bool {
+	if q.Cap > 0 && q.count >= q.Cap {
+		return false
+	}
+	if q.count == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.count)%len(q.buf)] = r
+	q.count++
+	return true
+}
+
+// PushFront prepends r (used by multi-queue time sharing, which
+// re-enqueues preempted requests at the head of their queue). Capacity
+// is not enforced for re-enqueues: the request was already admitted.
+func (q *FIFO) PushFront(r *Request) {
+	if q.count == len(q.buf) {
+		q.grow()
+	}
+	q.head = (q.head - 1 + len(q.buf)) % len(q.buf)
+	q.buf[q.head] = r
+	q.count++
+}
+
+// Pop removes and returns the oldest request, or nil.
+func (q *FIFO) Pop() *Request {
+	if q.count == 0 {
+		return nil
+	}
+	r := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	return r
+}
+
+// Peek returns the oldest request without removing it, or nil.
+func (q *FIFO) Peek() *Request {
+	if q.count == 0 {
+		return nil
+	}
+	return q.buf[q.head]
+}
+
+// PopBack removes and returns the newest request, or nil (work
+// stealing takes from the tail of a victim's queue).
+func (q *FIFO) PopBack() *Request {
+	if q.count == 0 {
+		return nil
+	}
+	idx := (q.head + q.count - 1) % len(q.buf)
+	r := q.buf[idx]
+	q.buf[idx] = nil
+	q.count--
+	return r
+}
+
+func (q *FIFO) grow() {
+	size := len(q.buf) * 2
+	if size == 0 {
+		size = 16
+	}
+	buf := make([]*Request, size)
+	for i := 0; i < q.count; i++ {
+		buf[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = buf
+	q.head = 0
+}

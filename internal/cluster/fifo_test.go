@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func req(id uint64) *Request { return &Request{ID: id} }
+
+func TestFIFOOrder(t *testing.T) {
+	var q FIFO
+	for i := uint64(0); i < 100; i++ {
+		if !q.Push(req(i)) {
+			t.Fatal("unbounded push failed")
+		}
+	}
+	for i := uint64(0); i < 100; i++ {
+		r := q.Pop()
+		if r == nil || r.ID != i {
+			t.Fatalf("pop %d got %v", i, r)
+		}
+	}
+	if q.Pop() != nil {
+		t.Fatal("pop on empty returned request")
+	}
+}
+
+func TestFIFOCap(t *testing.T) {
+	q := FIFO{Cap: 2}
+	if !q.Push(req(1)) || !q.Push(req(2)) {
+		t.Fatal("pushes below cap failed")
+	}
+	if q.Push(req(3)) {
+		t.Fatal("push beyond cap succeeded")
+	}
+	q.Pop()
+	if !q.Push(req(3)) {
+		t.Fatal("push after pop failed")
+	}
+}
+
+func TestFIFOPushFront(t *testing.T) {
+	var q FIFO
+	q.Push(req(1))
+	q.Push(req(2))
+	q.PushFront(req(0))
+	for i := uint64(0); i < 3; i++ {
+		if r := q.Pop(); r.ID != i {
+			t.Fatalf("got %d, want %d", r.ID, i)
+		}
+	}
+}
+
+func TestFIFOPushFrontBypassesCap(t *testing.T) {
+	q := FIFO{Cap: 1}
+	q.Push(req(1))
+	q.PushFront(req(0)) // re-enqueue of an admitted request must not be lost
+	if q.Len() != 2 {
+		t.Fatalf("len %d, want 2", q.Len())
+	}
+	if q.Pop().ID != 0 {
+		t.Fatal("front not first")
+	}
+}
+
+func TestFIFOPopBack(t *testing.T) {
+	var q FIFO
+	for i := uint64(0); i < 5; i++ {
+		q.Push(req(i))
+	}
+	if r := q.PopBack(); r.ID != 4 {
+		t.Fatalf("PopBack got %d", r.ID)
+	}
+	if r := q.Pop(); r.ID != 0 {
+		t.Fatalf("Pop got %d", r.ID)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("len %d", q.Len())
+	}
+}
+
+func TestFIFOPeek(t *testing.T) {
+	var q FIFO
+	if q.Peek() != nil {
+		t.Fatal("peek on empty")
+	}
+	q.Push(req(9))
+	if q.Peek().ID != 9 || q.Len() != 1 {
+		t.Fatal("peek wrong or mutated queue")
+	}
+}
+
+func TestFIFOGrowthAcrossWrap(t *testing.T) {
+	var q FIFO
+	// Exercise wrap-around: interleave pushes and pops so head moves.
+	next := uint64(0)
+	expect := uint64(0)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 7; i++ {
+			q.Push(req(next))
+			next++
+		}
+		for i := 0; i < 5; i++ {
+			r := q.Pop()
+			if r.ID != expect {
+				t.Fatalf("got %d, want %d", r.ID, expect)
+			}
+			expect++
+		}
+	}
+	for q.Len() > 0 {
+		r := q.Pop()
+		if r.ID != expect {
+			t.Fatalf("drain got %d, want %d", r.ID, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("drained %d, pushed %d", expect, next)
+	}
+}
+
+// TestFIFOModel property-checks the ring against a plain slice model
+// under random operation sequences.
+func TestFIFOModel(t *testing.T) {
+	type op struct {
+		// 0 push, 1 pop, 2 pushFront, 3 popBack, 4 peek
+		Kind uint8
+	}
+	check := func(ops []op) bool {
+		var q FIFO
+		var model []uint64
+		next := uint64(0)
+		for _, o := range ops {
+			switch o.Kind % 5 {
+			case 0:
+				q.Push(req(next))
+				model = append(model, next)
+				next++
+			case 1:
+				r := q.Pop()
+				if len(model) == 0 {
+					if r != nil {
+						return false
+					}
+				} else {
+					if r == nil || r.ID != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			case 2:
+				q.PushFront(req(next))
+				model = append([]uint64{next}, model...)
+				next++
+			case 3:
+				r := q.PopBack()
+				if len(model) == 0 {
+					if r != nil {
+						return false
+					}
+				} else {
+					if r == nil || r.ID != model[len(model)-1] {
+						return false
+					}
+					model = model[:len(model)-1]
+				}
+			case 4:
+				r := q.Peek()
+				if len(model) == 0 {
+					if r != nil {
+						return false
+					}
+				} else if r == nil || r.ID != model[0] {
+					return false
+				}
+			}
+			if q.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func testConfig() Config {
+	return Config{
+		Workers:        4,
+		Mix:            workload.HighBimodal(),
+		LoadFraction:   0.5,
+		Duration:       50 * time.Millisecond,
+		WarmupFraction: 0.1,
+		Seed:           1,
+		NewPolicy:      func() Policy { return &fifoPolicy{} },
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	res, err := Run(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "test-fcfs" {
+		t.Fatalf("policy name %q", res.Policy)
+	}
+	if res.Machine.Completed() == 0 {
+		t.Fatal("no completions")
+	}
+	// Offered ~0.5 * 4/50.5µs ≈ 39.6k rps over 50ms ≈ 1980 arrivals.
+	if res.Machine.Arrived() < 1000 || res.Machine.Arrived() > 3000 {
+		t.Fatalf("arrivals %d out of plausible range", res.Machine.Arrived())
+	}
+	thr := res.Recorder.Throughput()
+	if thr < res.OfferedRPS*0.8 || thr > res.OfferedRPS*1.2 {
+		t.Fatalf("throughput %g vs offered %g", thr, res.OfferedRPS)
+	}
+	if len(res.WorkerBusy) != 4 {
+		t.Fatalf("worker busy entries %d", len(res.WorkerBusy))
+	}
+	for i, b := range res.WorkerBusy {
+		if b < 0 || b > 1 {
+			t.Fatalf("worker %d busy fraction %g", i, b)
+		}
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	a, err := Run(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Machine.Completed() != b.Machine.Completed() {
+		t.Fatalf("non-deterministic completions: %d vs %d", a.Machine.Completed(), b.Machine.Completed())
+	}
+	if a.Recorder.All().Latency.Quantile(0.999) != b.Recorder.All().Latency.Quantile(0.999) {
+		t.Fatal("non-deterministic latency distribution")
+	}
+}
+
+func TestRunSeedChangesOutcome(t *testing.T) {
+	cfg := testConfig()
+	a, _ := Run(cfg)
+	cfg.Seed = 2
+	b, _ := Run(cfg)
+	if a.Machine.Arrived() == b.Machine.Arrived() &&
+		a.Recorder.All().Latency.Quantile(0.5) == b.Recorder.All().Latency.Quantile(0.5) {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+func TestRunAbsoluteRate(t *testing.T) {
+	cfg := testConfig()
+	cfg.Rate = 10000
+	cfg.LoadFraction = 0
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OfferedRPS != 10000 {
+		t.Fatalf("offered %g", res.OfferedRPS)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Workers = 0 },
+		func(c *Config) { c.Duration = 0 },
+		func(c *Config) { c.NewPolicy = nil },
+		func(c *Config) { c.LoadFraction = 0; c.Rate = 0 },
+		func(c *Config) { c.WarmupFraction = 1 },
+		func(c *Config) { c.Mix = workload.Mix{} },
+	}
+	for i, mutate := range bad {
+		cfg := testConfig()
+		mutate(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestRunTrackWindow(t *testing.T) {
+	cfg := testConfig()
+	cfg.TrackWindow = 5 * time.Millisecond
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Series == nil || res.Series.Windows() == 0 {
+		t.Fatal("time series not populated")
+	}
+}
+
+func TestRunOnCompleteHook(t *testing.T) {
+	cfg := testConfig()
+	var count int
+	cfg.OnComplete = func(r *Request, at sim.Time) { count++ }
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(count) != res.Machine.Completed() {
+		t.Fatalf("hook saw %d, machine completed %d", count, res.Machine.Completed())
+	}
+}
+
+func TestRunPhasedSchedule(t *testing.T) {
+	fast := workload.TwoType("A", time.Microsecond, 0.5, "B", 10*time.Microsecond)
+	flipped := workload.TwoType("A", 10*time.Microsecond, 0.5, "B", time.Microsecond)
+	sched := &workload.Schedule{Phases: []workload.Phase{
+		{Mix: fast, Rate: 50_000, Duration: 25 * time.Millisecond},
+		{Mix: flipped, Rate: 100_000, Duration: 25 * time.Millisecond},
+	}}
+	cfg := testConfig()
+	cfg.Schedule = sched
+	cfg.Duration = 50 * time.Millisecond
+
+	var phase1, phase2 int
+	cfg.OnComplete = func(r *Request, at sim.Time) {
+		if at < 25*time.Millisecond {
+			phase1++
+		} else {
+			phase2++
+		}
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phase1 == 0 || phase2 == 0 {
+		t.Fatalf("phases saw %d/%d completions", phase1, phase2)
+	}
+	// Phase 2 doubles the arrival rate.
+	if phase2 < phase1*3/2 {
+		t.Fatalf("rate change not visible: %d vs %d", phase1, phase2)
+	}
+	_ = res
+}
+
+func TestRunInvalidSchedule(t *testing.T) {
+	cfg := testConfig()
+	cfg.Schedule = &workload.Schedule{}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("invalid schedule accepted")
+	}
+}

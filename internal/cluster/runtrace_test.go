@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func sampleTrace() *trace.Trace {
+	tr := &trace.Trace{}
+	// 100 shorts at 10µs spacing with one long in the middle.
+	for i := 0; i < 100; i++ {
+		tr.Records = append(tr.Records, trace.Record{
+			Offset:  time.Duration(i) * 10 * time.Microsecond,
+			Type:    0,
+			Service: time.Microsecond,
+		})
+	}
+	tr.Records = append(tr.Records, trace.Record{
+		Offset:  500 * time.Microsecond,
+		Type:    1,
+		Service: 200 * time.Microsecond,
+	})
+	tr.Sort()
+	return tr
+}
+
+func TestTraceReplayBasics(t *testing.T) {
+	tr := sampleTrace()
+	res, err := Run(Config{
+		Workers:   2,
+		Trace:     tr,
+		Mix:       workload.HighBimodal(), // names only
+		NewPolicy: func() Policy { return &fifoPolicy{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Machine.Arrived() != uint64(tr.Len()) {
+		t.Fatalf("arrived %d, trace has %d", res.Machine.Arrived(), tr.Len())
+	}
+	if res.Machine.Completed() != uint64(tr.Len()) {
+		t.Fatalf("completed %d", res.Machine.Completed())
+	}
+	// Duration derived from the trace.
+	if res.Duration < tr.Duration() {
+		t.Fatalf("duration %v shorter than trace %v", res.Duration, tr.Duration())
+	}
+	if res.Recorder.Type(0).Completed != 100 || res.Recorder.Type(1).Completed != 1 {
+		t.Fatalf("per-type counts %d/%d", res.Recorder.Type(0).Completed, res.Recorder.Type(1).Completed)
+	}
+}
+
+func TestTraceReplayDeterministicAndPaired(t *testing.T) {
+	tr := sampleTrace()
+	run := func() *Result {
+		res, err := Run(Config{
+			Workers:   2,
+			Trace:     tr,
+			NewPolicy: func() Policy { return &fifoPolicy{} },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Recorder.All().Latency.Quantile(0.999) != b.Recorder.All().Latency.Quantile(0.999) {
+		t.Fatal("trace replay not deterministic")
+	}
+}
+
+func TestTraceReplayExplicitDuration(t *testing.T) {
+	tr := sampleTrace()
+	res, err := Run(Config{
+		Workers:   2,
+		Trace:     tr,
+		Duration:  300 * time.Microsecond, // cuts off the tail
+		NewPolicy: func() Policy { return &fifoPolicy{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Machine.Arrived() >= uint64(tr.Len()) {
+		t.Fatalf("all %d arrivals injected despite truncated horizon", tr.Len())
+	}
+}
+
+func TestTraceReplayRejectsBadTraces(t *testing.T) {
+	empty := &trace.Trace{}
+	if _, err := Run(Config{Workers: 1, Trace: empty, NewPolicy: func() Policy { return &fifoPolicy{} }}); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	bad := &trace.Trace{Records: []trace.Record{
+		{Offset: 10, Type: 0, Service: 1},
+		{Offset: 5, Type: 0, Service: 1},
+	}}
+	if _, err := Run(Config{Workers: 1, Trace: bad, NewPolicy: func() Policy { return &fifoPolicy{} }}); err == nil {
+		t.Fatal("unsorted trace accepted")
+	}
+}
+
+func TestTraceGenerateReplayRoundTrip(t *testing.T) {
+	// Capture a Poisson trace from a workload source and replay it:
+	// rates must survive the round trip.
+	src, err := workload.NewSource(workload.HighBimodal(), 100_000, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.Generate(srcAdapter{src}, 50*time.Millisecond)
+	if tr.Len() < 4000 || tr.Len() > 6000 {
+		t.Fatalf("captured %d arrivals, want ~5000", tr.Len())
+	}
+	res, err := Run(Config{
+		Workers:   14,
+		Trace:     tr,
+		Mix:       workload.HighBimodal(),
+		NewPolicy: func() Policy { return &fifoPolicy{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Machine.Completed() == 0 {
+		t.Fatal("no completions from replay")
+	}
+}
+
+type srcAdapter struct{ s *workload.Source }
+
+func (a srcAdapter) Next() (time.Duration, int, time.Duration) {
+	arr := a.s.Next()
+	return arr.Gap, arr.Type, arr.Service
+}

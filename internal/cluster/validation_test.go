@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/queueing"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// These tests cross-validate the discrete-event simulator against
+// closed-form queueing theory: if c-FCFS under Poisson arrivals does
+// not reproduce M/M/c and M/D/1 results, every paper comparison built
+// on it is meaningless.
+
+// runCFCFS simulates a c-FCFS machine and returns the mean measured
+// waiting time (queue delay) in seconds.
+func runCFCFS(t *testing.T, workers int, mix workload.Mix, ratePerSec float64, dur time.Duration) float64 {
+	t.Helper()
+	res, err := Run(Config{
+		Workers:        workers,
+		Mix:            mix,
+		Rate:           ratePerSec,
+		Duration:       dur,
+		WarmupFraction: 0.1,
+		Seed:           1234,
+		NewPolicy:      func() Policy { return &fifoPolicy{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return time.Duration(res.Recorder.All().QueueDelay.Mean()).Seconds()
+}
+
+func TestSimulatorMatchesMD1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	// Single worker, deterministic 10µs service, ρ=0.7.
+	s := 10 * time.Microsecond
+	mix := workload.Mix{
+		Name:  "det",
+		Types: []workload.TypeSpec{{Name: "x", Ratio: 1, Service: rng.Fixed(s)}},
+	}
+	lambda := 0.7 / s.Seconds()
+	got := runCFCFS(t, 1, mix, lambda, 2*time.Second)
+	want, err := queueing.MD1MeanWait(lambda, s.Seconds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want)/want > 0.08 {
+		t.Fatalf("M/D/1 mean wait: simulated %.3gs, analytic %.3gs", got, want)
+	}
+}
+
+func TestSimulatorMatchesMM1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	// Exponential service, single worker, ρ=0.6.
+	mean := 10 * time.Microsecond
+	mix := workload.Mix{
+		Name:  "exp",
+		Types: []workload.TypeSpec{{Name: "x", Ratio: 1, Service: rng.Exponential(mean)}},
+	}
+	lambda := 0.6 / mean.Seconds()
+	got := runCFCFS(t, 1, mix, lambda, 2*time.Second)
+	want, err := queueing.MM1MeanWait(lambda, 1/mean.Seconds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want)/want > 0.10 {
+		t.Fatalf("M/M/1 mean wait: simulated %.3gs, analytic %.3gs", got, want)
+	}
+}
+
+func TestSimulatorMatchesMMc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	// 4 workers, exponential service, ρ=0.8.
+	mean := 10 * time.Microsecond
+	mix := workload.Mix{
+		Name:  "exp4",
+		Types: []workload.TypeSpec{{Name: "x", Ratio: 1, Service: rng.Exponential(mean)}},
+	}
+	const c = 4
+	lambda := 0.8 * c / mean.Seconds()
+	got := runCFCFS(t, c, mix, lambda, 2*time.Second)
+	want, err := queueing.MMcMeanWait(c, lambda, 1/mean.Seconds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want)/want > 0.10 {
+		t.Fatalf("M/M/%d mean wait: simulated %.3gs, analytic %.3gs", c, got, want)
+	}
+}
+
+func TestSimulatorMatchesPKForBimodal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	// Single worker, High Bimodal service (1µs/100µs at 50/50), ρ=0.5:
+	// the Pollaczek-Khinchine formula gives the exact M/G/1 wait.
+	mix := workload.HighBimodal()
+	es := mix.MeanService().Seconds()
+	es2 := queueing.BimodalSecondMoment(1e-6, 100e-6, 0.5)
+	lambda := 0.5 / es
+	got := runCFCFS(t, 1, mix, lambda, 4*time.Second)
+	want, err := queueing.MG1MeanWait(lambda, es, es2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want)/want > 0.10 {
+		t.Fatalf("M/G/1 bimodal mean wait: simulated %.3gs, analytic %.3gs", got, want)
+	}
+}
+
+// TestPoissonProcessStatistics validates the arrival source inside the
+// simulator: the event-driven generator must produce the configured
+// rate.
+func TestPoissonProcessStatistics(t *testing.T) {
+	s := sim.New()
+	src, err := workload.NewSource(workload.HighBimodal(), 1e6, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	var schedule func()
+	schedule = func() {
+		a := src.Next()
+		s.After(a.Gap, func() {
+			count++
+			schedule()
+		})
+	}
+	schedule()
+	s.RunUntil(100 * time.Millisecond)
+	got := float64(count) / 0.1
+	if math.Abs(got-1e6)/1e6 > 0.02 {
+		t.Fatalf("arrival rate %.0f, want ~1e6", got)
+	}
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/darc"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/workload"
+)
+
+// AblationDelta studies DARC's grouping factor δ on TPC-C at 85% load:
+// small δ yields one group per type (more fractional rounding, risk of
+// over-provisioning); huge δ collapses everything into one group
+// (c-FCFS-like, no isolation). The paper's default (δ=3) reproduces
+// its TPC-C grouping {Payment, OrderStatus} {NewOrder} {Delivery,
+// StockLevel}.
+func AblationDelta(opt Options) ([]*Table, error) {
+	opt = opt.fill()
+	mix := workload.TPCC()
+	const workers = 14
+	const load = 0.85
+	deltas := []float64{1.01, 1.5, 2, 3, 5, 10, 1000}
+	t := &Table{
+		Name:   "ablation_delta",
+		Title:  "DARC grouping-factor sensitivity, TPC-C at 85% load",
+		Header: []string{"delta", "groups", "slowdown_p999", "Payment_p999", "StockLevel_p999"},
+	}
+	type cell struct {
+		delta  float64
+		groups int
+		slow   float64
+		payP   time.Duration
+		stockP time.Duration
+		err    error
+	}
+	cells := make([]cell, len(deltas))
+	runParallel(opt, len(deltas), func(i int) {
+		c := &cells[i]
+		c.delta = deltas[i]
+		var captured *policy.DARC
+		res, err := cluster.Run(cluster.Config{
+			Workers:        workers,
+			Mix:            mix,
+			LoadFraction:   load,
+			Duration:       opt.Duration,
+			WarmupFraction: 0.1,
+			Seed:           opt.Seed,
+			RTT:            10 * time.Microsecond,
+			NewPolicy: func() cluster.Policy {
+				cfg := darc.DefaultConfig(workers)
+				cfg.Delta = deltas[i]
+				cfg.MinWindowSamples = opt.MinWindowSamples
+				captured = policy.NewDARC(cfg, len(mix.Types), 0)
+				return captured
+			},
+		})
+		if err != nil {
+			c.err = err
+			return
+		}
+		c.slow = metrics.SlowdownAt(res.Recorder.All(), 0.999)
+		c.payP = res.Recorder.Type(0).Latency.QuantileDuration(0.999)
+		c.stockP = res.Recorder.Type(4).Latency.QuantileDuration(0.999)
+		if r := captured.Controller().Reservation(); r != nil {
+			c.groups = len(r.Groups)
+		}
+	})
+	for _, c := range cells {
+		if c.err != nil {
+			return nil, c.err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", c.delta),
+			fmt.Sprintf("%d", c.groups),
+			fmtSlow(c.slow),
+			fmtDur(c.payP),
+			fmtDur(c.stockP),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper default delta=3 yields the §5.4.3 grouping {Payment,OrderStatus} {NewOrder} {Delivery,StockLevel}")
+	return []*Table{t}, nil
+}
+
+// AblationStealing compares full DARC against DARC without cycle
+// stealing (strict static partitioning) on both bimodal workloads at
+// 95% load: without stealing, bursts of short requests overwhelm the
+// small reserved set and the tail collapses — the §3 argument for
+// selectively enabling work conservation.
+func AblationStealing(opt Options) ([]*Table, error) {
+	opt = opt.fill()
+	const workers = 14
+	const load = 0.95
+	t := &Table{
+		Name:   "ablation_stealing",
+		Title:  "cycle stealing ablation at 95% load (DARC vs strict static partitioning)",
+		Header: []string{"workload", "variant", "slowdown_p999", "short_p999", "long_p999", "drops"},
+	}
+	type cfgRow struct {
+		mix     workload.Mix
+		noSteal bool
+	}
+	var rows []cfgRow
+	for _, mix := range []workload.Mix{workload.HighBimodal(), workload.ExtremeBimodal()} {
+		rows = append(rows, cfgRow{mix, false}, cfgRow{mix, true})
+	}
+	type cell struct {
+		slow        float64
+		short, long time.Duration
+		drops       uint64
+		err         error
+	}
+	cells := make([]cell, len(rows))
+	runParallel(opt, len(rows), func(i int) {
+		r := rows[i]
+		res, err := cluster.Run(cluster.Config{
+			Workers:        workers,
+			Mix:            r.mix,
+			LoadFraction:   load,
+			Duration:       opt.Duration,
+			WarmupFraction: 0.1,
+			Seed:           opt.Seed,
+			RTT:            10 * time.Microsecond,
+			NewPolicy: func() cluster.Policy {
+				cfg := darc.DefaultConfig(workers)
+				cfg.MinWindowSamples = opt.MinWindowSamples
+				cfg.NoCycleStealing = r.noSteal
+				return policy.NewDARC(cfg, len(r.mix.Types), 0)
+			},
+		})
+		if err != nil {
+			cells[i].err = err
+			return
+		}
+		cells[i] = cell{
+			slow:  metrics.SlowdownAt(res.Recorder.All(), 0.999),
+			short: res.Recorder.Type(0).Latency.QuantileDuration(0.999),
+			long:  res.Recorder.Type(1).Latency.QuantileDuration(0.999),
+			drops: res.Machine.Dropped(),
+		}
+	})
+	for i, r := range rows {
+		if cells[i].err != nil {
+			return nil, cells[i].err
+		}
+		variant := "DARC"
+		if r.noSteal {
+			variant = "DARC-nosteal"
+		}
+		t.Rows = append(t.Rows, []string{
+			r.mix.Name, variant,
+			fmtSlow(cells[i].slow),
+			fmtDur(cells[i].short),
+			fmtDur(cells[i].long),
+			fmt.Sprintf("%d", cells[i].drops),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"stealing lets shorts absorb bursts on longer groups' cores; without it the short group saturates its reservation")
+	return []*Table{t}, nil
+}

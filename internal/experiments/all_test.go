@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestEveryArtifactRuns is the regression net over the whole registry:
+// every artifact must run with tiny options and produce at least one
+// non-empty, well-formed table.
+func TestEveryArtifactRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	opt := Options{
+		Duration:         30 * time.Millisecond,
+		Loads:            []float64{0.5, 0.8},
+		Seed:             3,
+		MinWindowSamples: 300,
+	}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			r := registry[name]
+			tables, err := r(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tb := range tables {
+				if tb.Name == "" || tb.Title == "" {
+					t.Fatalf("table missing name/title: %+v", tb)
+				}
+				if len(tb.Header) == 0 || len(tb.Rows) == 0 {
+					t.Fatalf("%s: empty header or rows", tb.Name)
+				}
+				for ri, row := range tb.Rows {
+					if len(row) != len(tb.Header) {
+						t.Fatalf("%s row %d: %d cells for %d columns", tb.Name, ri, len(row), len(tb.Header))
+					}
+					for ci, cell := range row {
+						if strings.TrimSpace(cell) == "" {
+							t.Fatalf("%s row %d col %d empty", tb.Name, ri, ci)
+						}
+					}
+				}
+				var buf bytes.Buffer
+				tb.Fprint(&buf)
+				if buf.Len() == 0 {
+					t.Fatalf("%s rendered empty", tb.Name)
+				}
+			}
+		})
+	}
+}

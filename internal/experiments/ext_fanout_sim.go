@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/fanout"
+	"repro/internal/workload"
+)
+
+// ExtFanoutSim runs the multi-machine fan-out simulation (as opposed
+// to ext-fanout's independent-shard analytics): short user queries fan
+// out to k of 8 backends while each backend also serves long
+// background work; the query answers when its slowest shard does.
+func ExtFanoutSim(opt Options) ([]*Table, error) {
+	opt = opt.fill()
+	mix := workload.HighBimodal()
+	const backends = 8
+	const workersPer = 8
+	const shardLoad = 0.80
+	fanouts := []int{1, 4, 8}
+
+	specs := []PolicySpec{
+		specDARC(opt, workersPer, len(mix.Types)),
+		specCFCFS(),
+	}
+	t := &Table{
+		Name: "ext_fanout_sim",
+		Title: fmt.Sprintf("simulated fan-out: %d backends x %d workers at %.0f%% load, short queries fan out, longs run as background",
+			backends, workersPer, shardLoad*100),
+		Header: []string{"policy", "fanout", "queries", "query_p99", "query_p999", "shard_p999"},
+	}
+	type job struct {
+		spec PolicySpec
+		k    int
+	}
+	var jobs []job
+	for _, s := range specs {
+		for _, k := range fanouts {
+			jobs = append(jobs, job{spec: s, k: k})
+		}
+	}
+	type cell struct {
+		res *fanout.Result
+		err error
+	}
+	cells := make([]cell, len(jobs))
+	runParallel(opt, len(jobs), func(i int) {
+		j := jobs[i]
+		ctx := RunCtx{
+			Seed:      opt.Seed,
+			Rate:      shardLoad * mix.PeakLoad(workersPer),
+			Duration:  opt.Duration,
+			Workers:   workersPer,
+			WindowCap: opt.MinWindowSamples,
+		}
+		res, err := fanout.Run(fanout.Config{
+			Backends:          backends,
+			FanOut:            j.k,
+			WorkersPerBackend: workersPer,
+			Mix:               mix,
+			ShardLoad:         shardLoad,
+			Duration:          opt.Duration,
+			WarmupFraction:    0.1,
+			Seed:              opt.Seed,
+			NewPolicy:         func() cluster.Policy { return j.spec.New(ctx) },
+		})
+		cells[i] = cell{res: res, err: err}
+	})
+	for i, j := range jobs {
+		if cells[i].err != nil {
+			return nil, cells[i].err
+		}
+		r := cells[i].res
+		t.Rows = append(t.Rows, []string{
+			j.spec.Name,
+			fmt.Sprintf("%d", j.k),
+			fmt.Sprintf("%d", r.Queries),
+			fmtDur(r.QueryLatency.QuantileDuration(0.99)),
+			fmtDur(r.QueryLatency.QuantileDuration(0.999)),
+			fmtDur(r.ShardLatency.QuantileDuration(0.999)),
+		})
+	}
+	// Amplification note: how much each policy's query p99 grows from
+	// k=1 to k=max.
+	for si, s := range specs {
+		base := cells[si*len(fanouts)].res.QueryLatency.QuantileDuration(0.99)
+		wide := cells[si*len(fanouts)+len(fanouts)-1].res.QueryLatency.QuantileDuration(0.99)
+		if base > 0 {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"%s: query p99 grows %.1fx from k=1 (%v) to k=%d (%v)",
+				s.Name, float64(wide)/float64(base), base, fanouts[len(fanouts)-1], wide))
+		}
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,254 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGet(t *testing.T) {
+	s := New(1)
+	s.Put([]byte("k1"), []byte("v1"))
+	v, ok := s.Get([]byte("k1"))
+	if !ok || string(v) != "v1" {
+		t.Fatalf("got %q %v", v, ok)
+	}
+	if _, ok := s.Get([]byte("missing")); ok {
+		t.Fatal("missing key found")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len %d", s.Len())
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	s := New(1)
+	s.Put([]byte("k"), []byte("a"))
+	s.Put([]byte("k"), []byte("b"))
+	v, _ := s.Get([]byte("k"))
+	if string(v) != "b" {
+		t.Fatalf("got %q", v)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len %d after overwrite", s.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := New(1)
+	s.Put([]byte("k"), []byte("v"))
+	if !s.Delete([]byte("k")) {
+		t.Fatal("delete failed")
+	}
+	if s.Delete([]byte("k")) {
+		t.Fatal("double delete succeeded")
+	}
+	if _, ok := s.Get([]byte("k")); ok {
+		t.Fatal("deleted key found")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("len %d", s.Len())
+	}
+}
+
+func TestValueCopied(t *testing.T) {
+	s := New(1)
+	v := []byte("abc")
+	s.Put([]byte("k"), v)
+	v[0] = 'X'
+	got, _ := s.Get([]byte("k"))
+	if string(got) != "abc" {
+		t.Fatal("store aliased caller slice")
+	}
+	got[0] = 'Y'
+	again, _ := s.Get([]byte("k"))
+	if string(again) != "abc" {
+		t.Fatal("store returned aliased slice")
+	}
+}
+
+func TestScanOrder(t *testing.T) {
+	s := New(2)
+	keys := []string{"delta", "alpha", "echo", "bravo", "charlie"}
+	for _, k := range keys {
+		s.Put([]byte(k), []byte("v-"+k))
+	}
+	var visited []string
+	s.Scan([]byte("a"), 100, func(k, v []byte) bool {
+		visited = append(visited, string(k))
+		return true
+	})
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	if len(visited) != len(want) {
+		t.Fatalf("visited %v", visited)
+	}
+	for i := range want {
+		if visited[i] != want[i] {
+			t.Fatalf("order %v, want %v", visited, want)
+		}
+	}
+}
+
+func TestScanStartAndLimit(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 100; i++ {
+		s.Put([]byte(fmt.Sprintf("key%03d", i)), []byte{byte(i)})
+	}
+	var first string
+	n := s.Scan([]byte("key050"), 10, func(k, v []byte) bool {
+		if first == "" {
+			first = string(k)
+		}
+		return true
+	})
+	if n != 10 || first != "key050" {
+		t.Fatalf("n=%d first=%q", n, first)
+	}
+	// Early stop.
+	n = s.Scan(nil, 100, func(k, v []byte) bool { return false })
+	if n != 1 {
+		t.Fatalf("early-stop visited %d", n)
+	}
+}
+
+func TestScanCount(t *testing.T) {
+	s := New(4)
+	for i := 0; i < 10; i++ {
+		s.Put([]byte(fmt.Sprintf("k%02d", i)), make([]byte, 8))
+	}
+	entries, total := s.ScanCount(nil, 5)
+	if entries != 5 || total != 40 {
+		t.Fatalf("entries=%d bytes=%d", entries, total)
+	}
+}
+
+func TestFirstKey(t *testing.T) {
+	s := New(5)
+	if s.FirstKey() != nil {
+		t.Fatal("empty store has a first key")
+	}
+	s.Put([]byte("m"), nil)
+	s.Put([]byte("a"), nil)
+	if string(s.FirstKey()) != "a" {
+		t.Fatalf("first key %q", s.FirstKey())
+	}
+}
+
+// TestAgainstMapModel property-checks the skiplist against a Go map +
+// sort model.
+func TestAgainstMapModel(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  uint8
+		Val  uint8
+	}
+	check := func(ops []op) bool {
+		s := New(42)
+		model := map[string]string{}
+		for _, o := range ops {
+			key := []byte(fmt.Sprintf("k%03d", o.Key))
+			switch o.Kind % 3 {
+			case 0:
+				val := []byte{o.Val}
+				s.Put(key, val)
+				model[string(key)] = string(val)
+			case 1:
+				got, ok := s.Get(key)
+				want, wantOK := model[string(key)]
+				if ok != wantOK || (ok && string(got) != want) {
+					return false
+				}
+			case 2:
+				deleted := s.Delete(key)
+				_, existed := model[string(key)]
+				if deleted != existed {
+					return false
+				}
+				delete(model, string(key))
+			}
+			if s.Len() != len(model) {
+				return false
+			}
+		}
+		// Full scan must match the sorted model.
+		keys := make([]string, 0, len(model))
+		for k := range model {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		i := 0
+		okScan := true
+		s.Scan(nil, 1<<30, func(k, v []byte) bool {
+			if i >= len(keys) || string(k) != keys[i] || string(v) != model[keys[i]] {
+				okScan = false
+				return false
+			}
+			i++
+			return true
+		})
+		return okScan && i == len(keys)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentReaders(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 1000; i++ {
+		s.Put([]byte(fmt.Sprintf("k%04d", i)), bytes.Repeat([]byte{byte(i)}, 4))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				key := []byte(fmt.Sprintf("k%04d", (i*7+g)%1000))
+				if _, ok := s.Get(key); !ok {
+					t.Errorf("key %s missing", key)
+					return
+				}
+			}
+		}(g)
+	}
+	// A concurrent writer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			s.Put([]byte(fmt.Sprintf("w%04d", i)), []byte("x"))
+		}
+	}()
+	wg.Wait()
+	if s.Len() != 1500 {
+		t.Fatalf("len %d", s.Len())
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	s := New(1)
+	for i := 0; i < 5000; i++ {
+		s.Put([]byte(fmt.Sprintf("key%04d", i)), make([]byte, 32))
+	}
+	key := []byte("key2500")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(key)
+	}
+}
+
+func BenchmarkScan5000(b *testing.B) {
+	s := New(1)
+	for i := 0; i < 5000; i++ {
+		s.Put([]byte(fmt.Sprintf("key%04d", i)), make([]byte, 32))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ScanCount(nil, 5000)
+	}
+}

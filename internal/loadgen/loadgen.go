@@ -1,0 +1,179 @@
+// Package loadgen is the open-loop load generator for the live
+// runtime: it models the paper's client, issuing requests under a
+// Poisson process at a configured rate regardless of server progress,
+// and records client-observed latency per request type.
+package loadgen
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/psp"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// Config drives one load generation run.
+type Config struct {
+	// Mix supplies the request types and their occurrence ratios (the
+	// per-type service distributions are the server's business; only
+	// ratios are used here).
+	Mix workload.Mix
+	// Rate is the offered load in requests per second.
+	Rate float64
+	// Duration is how long to generate for.
+	Duration time.Duration
+	// Seed makes the arrival process reproducible.
+	Seed uint64
+	// BuildPayload converts a type index into a request payload. The
+	// default emits a 2-byte little-endian type header (matching
+	// classify.Field{Offset: 0}).
+	BuildPayload func(typ int) []byte
+	// Timeout bounds how long to wait for stragglers after the last
+	// send (default 2s).
+	Timeout time.Duration
+}
+
+func (c *Config) fill() error {
+	if err := c.Mix.Validate(); err != nil {
+		return err
+	}
+	if c.Rate <= 0 {
+		return errors.New("loadgen: non-positive rate")
+	}
+	if c.Duration <= 0 {
+		return errors.New("loadgen: non-positive duration")
+	}
+	if c.BuildPayload == nil {
+		c.BuildPayload = func(typ int) []byte {
+			p := make([]byte, 8)
+			binary.LittleEndian.PutUint16(p, uint16(typ))
+			return p
+		}
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	return nil
+}
+
+// Result aggregates one run.
+type Result struct {
+	Sent     uint64
+	Received uint64
+	Dropped  uint64 // responses with a drop status
+	Errors   uint64 // submissions rejected (backpressure)
+	Elapsed  time.Duration
+	// Latency holds client-observed latency per type index, plus an
+	// aggregate in Overall.
+	Latency []*metrics.Histogram
+	Overall *metrics.Histogram
+}
+
+// AchievedRate reports received responses per second.
+func (r *Result) AchievedRate() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Received) / r.Elapsed.Seconds()
+}
+
+func newResult(types int) *Result {
+	res := &Result{Overall: &metrics.Histogram{}}
+	for i := 0; i < types; i++ {
+		res.Latency = append(res.Latency, &metrics.Histogram{})
+	}
+	return res
+}
+
+// RunInProcess generates load against an in-process psp.Server.
+func RunInProcess(srv *psp.Server, cfg Config) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	r := rng.New(cfg.Seed)
+	res := newResult(len(cfg.Mix.Types))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var sent, received, dropped, errs atomic.Uint64
+
+	start := time.Now()
+	next := start
+	for time.Since(start) < cfg.Duration {
+		// Poisson pacing: exponential gaps at the configured rate.
+		gap := time.Duration(r.Exp(1/cfg.Rate) * float64(time.Second))
+		next = next.Add(gap)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		typ := pickType(cfg.Mix, r)
+		payload := cfg.BuildPayload(typ)
+		t0 := time.Now()
+		ch, err := srv.Submit(payload)
+		if err != nil {
+			errs.Add(1)
+			continue
+		}
+		sent.Add(1)
+		wg.Add(1)
+		go func(typ int, t0 time.Time) {
+			defer wg.Done()
+			resp := <-ch
+			lat := time.Since(t0)
+			if resp.Status != 0 {
+				dropped.Add(1)
+				return
+			}
+			received.Add(1)
+			mu.Lock()
+			res.Latency[typ].RecordDuration(lat)
+			res.Overall.RecordDuration(lat)
+			mu.Unlock()
+		}(typ, t0)
+	}
+	waitTimeout(&wg, cfg.Timeout)
+	res.Sent = sent.Load()
+	res.Received = received.Load()
+	res.Dropped = dropped.Load()
+	res.Errors = errs.Load()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func pickType(mix workload.Mix, r *rng.RNG) int {
+	u := r.Float64()
+	var acc float64
+	for i, t := range mix.Types {
+		acc += t.Ratio
+		if u < acc {
+			return i
+		}
+	}
+	return len(mix.Types) - 1
+}
+
+func waitTimeout(wg *sync.WaitGroup, d time.Duration) bool {
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(d):
+		return false
+	}
+}
+
+// String summarises a result for logs.
+func (r *Result) String() string {
+	return fmt.Sprintf("loadgen{sent=%d recv=%d drop=%d err=%d rate=%.0f/s p99=%v}",
+		r.Sent, r.Received, r.Dropped, r.Errors, r.AchievedRate(),
+		r.Overall.QuantileDuration(0.99))
+}

@@ -1,0 +1,166 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/darc"
+	"repro/internal/proto"
+	"repro/internal/psp"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+func echoServer(t *testing.T) *psp.Server {
+	t.Helper()
+	cfg := darc.DefaultConfig(2)
+	cfg.MinWindowSamples = 64
+	srv, err := psp.NewServer(psp.Config{
+		Workers:    2,
+		Classifier: classify.Field{Offset: 0, Types: 2},
+		Handler: psp.HandlerFunc(func(typ int, p, r []byte) (int, proto.Status) {
+			return copy(r, p), proto.StatusOK
+		}),
+		DARC: cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(srv.Stop)
+	return srv
+}
+
+func testMix() workload.Mix {
+	return workload.TwoType("short", time.Microsecond, 0.8, "long", 10*time.Microsecond)
+}
+
+func TestConfigValidation(t *testing.T) {
+	srv := echoServer(t)
+	bad := []Config{
+		{Mix: testMix(), Rate: 0, Duration: time.Second},
+		{Mix: testMix(), Rate: 100, Duration: 0},
+		{Mix: workload.Mix{}, Rate: 100, Duration: time.Second},
+	}
+	for i, cfg := range bad {
+		if _, err := RunInProcess(srv, cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestRunInProcess(t *testing.T) {
+	srv := echoServer(t)
+	res, err := RunInProcess(srv, Config{
+		Mix:      testMix(),
+		Rate:     2000,
+		Duration: 300 * time.Millisecond,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 {
+		t.Fatal("nothing sent")
+	}
+	if res.Received < res.Sent*8/10 {
+		t.Fatalf("received %d of %d", res.Received, res.Sent)
+	}
+	if res.Overall.Count() != res.Received {
+		t.Fatalf("histogram count %d vs received %d", res.Overall.Count(), res.Received)
+	}
+	// Rough open-loop pacing: ~600 requests at 2k rps over 300ms.
+	if res.Sent < 300 || res.Sent > 1200 {
+		t.Fatalf("sent %d, want ~600", res.Sent)
+	}
+	if res.AchievedRate() <= 0 {
+		t.Fatal("zero achieved rate")
+	}
+	if res.String() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestTypeMixRespected(t *testing.T) {
+	srv := echoServer(t)
+	res, err := RunInProcess(srv, Config{
+		Mix:      testMix(), // 80% type 0
+		Rate:     3000,
+		Duration: 300 * time.Millisecond,
+		Seed:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := res.Latency[0].Count()
+	long := res.Latency[1].Count()
+	if short == 0 || long == 0 {
+		t.Fatalf("counts %d/%d", short, long)
+	}
+	frac := float64(short) / float64(short+long)
+	if frac < 0.7 || frac > 0.9 {
+		t.Fatalf("short fraction %g, want ~0.8", frac)
+	}
+}
+
+func TestPickTypeDistribution(t *testing.T) {
+	mix := testMix()
+	r := rng.New(3)
+	counts := make([]int, 2)
+	for i := 0; i < 10000; i++ {
+		counts[pickType(mix, r)]++
+	}
+	frac := float64(counts[0]) / 10000
+	if frac < 0.78 || frac > 0.82 {
+		t.Fatalf("type 0 fraction %g", frac)
+	}
+}
+
+func TestRunUDP(t *testing.T) {
+	cfg := darc.DefaultConfig(2)
+	cfg.MinWindowSamples = 64
+	srv, err := psp.NewServer(psp.Config{
+		Workers:    2,
+		Classifier: classify.Field{Offset: 0, Types: 2},
+		Handler: psp.HandlerFunc(func(typ int, p, r []byte) (int, proto.Status) {
+			return copy(r, p), proto.StatusOK
+		}),
+		DARC: cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := psp.ListenUDP("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+
+	res, err := RunUDP(u.Addr().String(), Config{
+		Mix:      testMix(),
+		Rate:     2000,
+		Duration: 300 * time.Millisecond,
+		Seed:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 {
+		t.Fatal("nothing sent")
+	}
+	if res.Received < res.Sent*7/10 {
+		t.Fatalf("received %d of %d over loopback", res.Received, res.Sent)
+	}
+	if res.Overall.QuantileDuration(0.5) <= 0 {
+		t.Fatal("no latency recorded")
+	}
+}
+
+func TestRunUDPBadAddress(t *testing.T) {
+	if _, err := RunUDP("not-an-address:abc", Config{
+		Mix: testMix(), Rate: 100, Duration: 10 * time.Millisecond,
+	}); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

@@ -1,0 +1,127 @@
+package loadgen
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/rng"
+)
+
+// RunUDP generates load against a UDP Perséphone server, matching
+// responses to requests by RequestID — the shape of the paper's C++
+// open-loop client.
+func RunUDP(serverAddr string, cfg Config) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	addr, err := net.ResolveUDPAddr("udp", serverAddr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+
+	r := rng.New(cfg.Seed)
+	res := newResult(len(cfg.Mix.Types))
+	var mu sync.Mutex
+	inflight := make(map[uint64]sendRecord)
+	var received, dropped atomic.Uint64
+
+	// Receiver: match responses to sends.
+	recvDone := make(chan struct{})
+	go func() {
+		defer close(recvDone)
+		buf := make([]byte, 4096)
+		for {
+			n, err := conn.Read(buf)
+			if err != nil {
+				return // deadline or close
+			}
+			h, _, perr := proto.DecodeHeader(buf[:n])
+			if perr != nil || h.Kind != proto.KindResponse {
+				continue
+			}
+			mu.Lock()
+			rec, ok := inflight[h.RequestID]
+			if ok {
+				delete(inflight, h.RequestID)
+			}
+			mu.Unlock()
+			if !ok {
+				continue
+			}
+			if h.Status != proto.StatusOK {
+				dropped.Add(1)
+				continue
+			}
+			lat := time.Since(rec.sent)
+			received.Add(1)
+			mu.Lock()
+			res.Latency[rec.typ].RecordDuration(lat)
+			res.Overall.RecordDuration(lat)
+			mu.Unlock()
+		}
+	}()
+
+	start := time.Now()
+	next := start
+	var id uint64
+	var sent uint64
+	for time.Since(start) < cfg.Duration {
+		gap := time.Duration(r.Exp(1/cfg.Rate) * float64(time.Second))
+		next = next.Add(gap)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		typ := pickType(cfg.Mix, r)
+		id++
+		msg := proto.AppendMessage(nil, proto.Header{
+			Kind:      proto.KindRequest,
+			RequestID: id,
+		}, cfg.BuildPayload(typ))
+		mu.Lock()
+		inflight[id] = sendRecord{typ: typ, sent: time.Now()}
+		mu.Unlock()
+		if _, err := conn.Write(msg); err != nil {
+			mu.Lock()
+			delete(inflight, id)
+			mu.Unlock()
+			continue
+		}
+		sent++
+	}
+
+	// Grace period for stragglers, then unblock the receiver.
+	deadline := time.Now().Add(cfg.Timeout)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		pending := len(inflight)
+		mu.Unlock()
+		if pending == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	conn.SetReadDeadline(time.Now()) //nolint:errcheck
+	<-recvDone
+
+	mu.Lock()
+	lost := len(inflight)
+	mu.Unlock()
+	res.Sent = sent
+	res.Received = received.Load()
+	res.Dropped = dropped.Load() + uint64(lost)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+type sendRecord struct {
+	typ  int
+	sent time.Time
+}

@@ -1,0 +1,30 @@
+package memcache
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzExecute asserts the protocol handler never panics and always
+// produces a response on arbitrary request bytes.
+func FuzzExecute(f *testing.F) {
+	f.Add([]byte("get foo"))
+	f.Add([]byte("set k 1 value with spaces"))
+	f.Add([]byte("gets a b c"))
+	f.Add([]byte("incr n 5"))
+	f.Add([]byte("delete x"))
+	f.Add([]byte(""))
+	f.Add([]byte{0xff, 0x00, 0x41})
+	f.Fuzz(func(t *testing.T, req []byte) {
+		c := New()
+		c.Set("foo", []byte("bar"), 0)
+		c.Set("n", []byte("10"), 0)
+		resp := Execute(c, req, nil)
+		if len(resp) == 0 {
+			t.Fatal("empty response")
+		}
+		if !bytes.HasSuffix(resp, []byte("\r\n")) {
+			t.Fatalf("response %q not CRLF-terminated", resp)
+		}
+	})
+}

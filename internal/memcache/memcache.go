@@ -1,0 +1,157 @@
+// Package memcache is a from-scratch, sharded in-memory cache speaking
+// a memcached-style text protocol — the protocol family the paper
+// cites as carrying request types in its header (§1: "Memcached
+// request types are part of the protocol's header"). It provides the
+// live runtime with a realistic multi-command service whose operations
+// have distinct costs (GET ≪ SET < multi-GET), and exercises the
+// Command classifier.
+package memcache
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"sync"
+)
+
+// shardCount spreads lock contention; power of two for cheap masking.
+const shardCount = 16
+
+type entry struct {
+	value []byte
+	flags uint32
+	// cas is a monotonically increasing compare-and-swap token.
+	cas uint64
+}
+
+type shard struct {
+	mu    sync.RWMutex
+	items map[string]*entry
+}
+
+// Cache is a sharded key-value cache.
+type Cache struct {
+	shards  [shardCount]shard
+	casNext sync.Mutex
+	cas     uint64
+
+	// stats
+	hits, misses, sets, deletes uint64
+	statsMu                     sync.Mutex
+}
+
+// New creates an empty cache.
+func New() *Cache {
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].items = make(map[string]*entry)
+	}
+	return c
+}
+
+func (c *Cache) shardFor(key string) *shard {
+	// FNV-1a over the key.
+	var h uint32 = 2166136261
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[h&(shardCount-1)]
+}
+
+func (c *Cache) nextCAS() uint64 {
+	c.casNext.Lock()
+	c.cas++
+	v := c.cas
+	c.casNext.Unlock()
+	return v
+}
+
+// Set stores a value unconditionally.
+func (c *Cache) Set(key string, value []byte, flags uint32) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	s.items[key] = &entry{value: append([]byte(nil), value...), flags: flags, cas: c.nextCAS()}
+	s.mu.Unlock()
+	c.statsMu.Lock()
+	c.sets++
+	c.statsMu.Unlock()
+}
+
+// Get returns a copy of the value, its flags, and whether it existed.
+func (c *Cache) Get(key string) ([]byte, uint32, bool) {
+	s := c.shardFor(key)
+	s.mu.RLock()
+	e, ok := s.items[key]
+	var v []byte
+	var flags uint32
+	if ok {
+		v = append([]byte(nil), e.value...)
+		flags = e.flags
+	}
+	s.mu.RUnlock()
+	c.statsMu.Lock()
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	c.statsMu.Unlock()
+	return v, flags, ok
+}
+
+// Delete removes a key, reporting whether it existed.
+func (c *Cache) Delete(key string) bool {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	_, ok := s.items[key]
+	if ok {
+		delete(s.items, key)
+	}
+	s.mu.Unlock()
+	if ok {
+		c.statsMu.Lock()
+		c.deletes++
+		c.statsMu.Unlock()
+	}
+	return ok
+}
+
+// Incr adds delta to a decimal-numeric value, returning the new value.
+// Missing keys or non-numeric values fail.
+func (c *Cache) Incr(key string, delta uint64) (uint64, error) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.items[key]
+	if !ok {
+		return 0, fmt.Errorf("memcache: NOT_FOUND")
+	}
+	cur, err := strconv.ParseUint(string(bytes.TrimSpace(e.value)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("memcache: cannot increment non-numeric value")
+	}
+	cur += delta
+	e.value = []byte(strconv.FormatUint(cur, 10))
+	e.cas = c.nextCAS()
+	return cur, nil
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Hits, Misses, Sets, Deletes uint64
+	Items                       int
+}
+
+// Snapshot returns current statistics.
+func (c *Cache) Snapshot() Stats {
+	c.statsMu.Lock()
+	st := Stats{Hits: c.hits, Misses: c.misses, Sets: c.sets, Deletes: c.deletes}
+	c.statsMu.Unlock()
+	for i := range c.shards {
+		c.shards[i].mu.RLock()
+		st.Items += len(c.shards[i].items)
+		c.shards[i].mu.RUnlock()
+	}
+	return st
+}

@@ -1,0 +1,255 @@
+package memcache
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGet(t *testing.T) {
+	c := New()
+	c.Set("k", []byte("v"), 7)
+	v, flags, ok := c.Get("k")
+	if !ok || string(v) != "v" || flags != 7 {
+		t.Fatalf("got %q %d %v", v, flags, ok)
+	}
+	if _, _, ok := c.Get("missing"); ok {
+		t.Fatal("missing key found")
+	}
+}
+
+func TestValueIsolation(t *testing.T) {
+	c := New()
+	orig := []byte("abc")
+	c.Set("k", orig, 0)
+	orig[0] = 'X'
+	v, _, _ := c.Get("k")
+	if string(v) != "abc" {
+		t.Fatal("cache aliased caller slice")
+	}
+	v[0] = 'Y'
+	again, _, _ := c.Get("k")
+	if string(again) != "abc" {
+		t.Fatal("cache returned aliased slice")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	c := New()
+	c.Set("k", []byte("v"), 0)
+	if !c.Delete("k") {
+		t.Fatal("delete failed")
+	}
+	if c.Delete("k") {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestIncr(t *testing.T) {
+	c := New()
+	c.Set("n", []byte("41"), 0)
+	v, err := c.Incr("n", 1)
+	if err != nil || v != 42 {
+		t.Fatalf("incr: %d %v", v, err)
+	}
+	got, _, _ := c.Get("n")
+	if string(got) != "42" {
+		t.Fatalf("stored %q", got)
+	}
+	if _, err := c.Incr("missing", 1); err == nil {
+		t.Fatal("incr on missing key succeeded")
+	}
+	c.Set("s", []byte("abc"), 0)
+	if _, err := c.Incr("s", 1); err == nil {
+		t.Fatal("incr on non-numeric succeeded")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	c := New()
+	c.Set("a", []byte("1"), 0)
+	c.Set("b", []byte("2"), 0)
+	c.Get("a")
+	c.Get("nope")
+	c.Delete("b")
+	st := c.Snapshot()
+	if st.Sets != 2 || st.Hits != 1 || st.Misses != 1 || st.Deletes != 1 || st.Items != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (g*500+i)%100)
+				switch i % 3 {
+				case 0:
+					c.Set(key, []byte("v"), 0)
+				case 1:
+					c.Get(key)
+				case 2:
+					c.Delete(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestCacheModelProperty(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  uint8
+		Val  uint8
+	}
+	check := func(ops []op) bool {
+		c := New()
+		model := map[string]string{}
+		for _, o := range ops {
+			key := fmt.Sprintf("k%d", o.Key%32)
+			switch o.Kind % 3 {
+			case 0:
+				val := fmt.Sprintf("v%d", o.Val)
+				c.Set(key, []byte(val), 0)
+				model[key] = val
+			case 1:
+				v, _, ok := c.Get(key)
+				want, wantOK := model[key]
+				if ok != wantOK || (ok && string(v) != want) {
+					return false
+				}
+			case 2:
+				got := c.Delete(key)
+				_, existed := model[key]
+				if got != existed {
+					return false
+				}
+				delete(model, key)
+			}
+		}
+		return c.Snapshot().Items == len(model)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- protocol tests ---
+
+func exec(t *testing.T, c *Cache, req string) string {
+	t.Helper()
+	return string(Execute(c, []byte(req), nil))
+}
+
+func TestProtocolSetGet(t *testing.T) {
+	c := New()
+	if got := exec(t, c, "set foo 3 hello world"); got != "STORED\r\n" {
+		t.Fatalf("set: %q", got)
+	}
+	got := exec(t, c, "get foo")
+	if !strings.HasPrefix(got, "VALUE foo 3 11\r\nhello world\r\n") || !strings.HasSuffix(got, "END\r\n") {
+		t.Fatalf("get: %q", got)
+	}
+	if got := exec(t, c, "get nope"); got != "END\r\n" {
+		t.Fatalf("miss: %q", got)
+	}
+}
+
+func TestProtocolGets(t *testing.T) {
+	c := New()
+	exec(t, c, "set a 0 1")
+	exec(t, c, "set b 0 2")
+	got := exec(t, c, "gets a b missing")
+	if !strings.Contains(got, "VALUE a 0 1") || !strings.Contains(got, "VALUE b 0 1") {
+		t.Fatalf("gets: %q", got)
+	}
+	if strings.Contains(got, "missing") {
+		t.Fatalf("gets returned missing key: %q", got)
+	}
+}
+
+func TestProtocolDeleteIncr(t *testing.T) {
+	c := New()
+	exec(t, c, "set n 0 9")
+	if got := exec(t, c, "incr n 3"); got != "12\r\n" {
+		t.Fatalf("incr: %q", got)
+	}
+	if got := exec(t, c, "delete n"); got != "DELETED\r\n" {
+		t.Fatalf("delete: %q", got)
+	}
+	if got := exec(t, c, "delete n"); got != "NOT_FOUND\r\n" {
+		t.Fatalf("redelete: %q", got)
+	}
+	if got := exec(t, c, "incr n 1"); got != "NOT_FOUND\r\n" {
+		t.Fatalf("incr missing: %q", got)
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	c := New()
+	cases := []string{
+		"",
+		"bogus x",
+		"get",
+		"get a b",
+		"gets",
+		"set onlykey",
+		"set k notanumber v",
+		"delete",
+		"incr k",
+		"incr k notanumber",
+	}
+	for _, req := range cases {
+		got := exec(t, c, req)
+		if !strings.Contains(got, "ERROR") && !strings.Contains(got, "NOT_FOUND") {
+			t.Errorf("%q -> %q (no error)", req, got)
+		}
+	}
+}
+
+func TestProtocolCaseInsensitive(t *testing.T) {
+	c := New()
+	exec(t, c, "SET k 0 v")
+	if got := exec(t, c, "GeT k"); !strings.Contains(got, "VALUE k") {
+		t.Fatalf("mixed case get: %q", got)
+	}
+}
+
+func TestCommandNamesAlign(t *testing.T) {
+	names := CommandNames()
+	if len(names) != NumCommands {
+		t.Fatalf("%d names for %d commands", len(names), NumCommands)
+	}
+	if names[CmdGet] != "GET" || names[CmdGets] != "GETS" {
+		t.Fatalf("names %v", names)
+	}
+}
+
+func BenchmarkCacheGet(b *testing.B) {
+	c := New()
+	for i := 0; i < 10000; i++ {
+		c.Set(fmt.Sprintf("key%05d", i), make([]byte, 64), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get("key05000")
+	}
+}
+
+func BenchmarkProtocolGet(b *testing.B) {
+	c := New()
+	c.Set("foo", []byte("barbarbar"), 0)
+	req := []byte("get foo")
+	resp := make([]byte, 0, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp = Execute(c, req, resp[:0])
+	}
+}

@@ -1,0 +1,111 @@
+package memcache
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+)
+
+// Command identifiers, in ascending typical service cost — the order a
+// DARC classifier should learn. GETS (multi-key get) is the expensive
+// class: Facebook's USR-style workloads batch many keys per request.
+const (
+	CmdGet = iota
+	CmdSet
+	CmdDelete
+	CmdIncr
+	CmdGets // multi-key get
+	NumCommands
+)
+
+// CommandNames lists the text-protocol verbs, index-aligned with the
+// Cmd constants (handy for building a classify.Command).
+func CommandNames() []string {
+	return []string{"GET", "SET", "DELETE", "INCR", "GETS"}
+}
+
+// Execute parses one text-protocol request and runs it against the
+// cache, appending the response to resp and returning it.
+//
+// Supported grammar (CRLF or LF tolerated, values inline):
+//
+//	get <key>
+//	gets <key> <key> ...
+//	set <key> <flags> <value...>
+//	delete <key>
+//	incr <key> <delta>
+func Execute(c *Cache, req []byte, resp []byte) []byte {
+	fields := bytes.Fields(req)
+	if len(fields) == 0 {
+		return append(resp, "ERROR empty request\r\n"...)
+	}
+	cmd := string(bytes.ToUpper(fields[0]))
+	switch cmd {
+	case "GET":
+		if len(fields) != 2 {
+			return append(resp, "CLIENT_ERROR get needs one key\r\n"...)
+		}
+		v, flags, ok := c.Get(string(fields[1]))
+		if !ok {
+			return append(resp, "END\r\n"...)
+		}
+		resp = appendValue(resp, fields[1], flags, v)
+		return append(resp, "END\r\n"...)
+
+	case "GETS":
+		if len(fields) < 2 {
+			return append(resp, "CLIENT_ERROR gets needs keys\r\n"...)
+		}
+		for _, key := range fields[1:] {
+			if v, flags, ok := c.Get(string(key)); ok {
+				resp = appendValue(resp, key, flags, v)
+			}
+		}
+		return append(resp, "END\r\n"...)
+
+	case "SET":
+		if len(fields) < 4 {
+			return append(resp, "CLIENT_ERROR set <key> <flags> <value>\r\n"...)
+		}
+		flags64, err := strconv.ParseUint(string(fields[2]), 10, 32)
+		if err != nil {
+			return append(resp, "CLIENT_ERROR bad flags\r\n"...)
+		}
+		value := bytes.Join(fields[3:], []byte(" "))
+		c.Set(string(fields[1]), value, uint32(flags64))
+		return append(resp, "STORED\r\n"...)
+
+	case "DELETE":
+		if len(fields) != 2 {
+			return append(resp, "CLIENT_ERROR delete needs one key\r\n"...)
+		}
+		if c.Delete(string(fields[1])) {
+			return append(resp, "DELETED\r\n"...)
+		}
+		return append(resp, "NOT_FOUND\r\n"...)
+
+	case "INCR":
+		if len(fields) != 3 {
+			return append(resp, "CLIENT_ERROR incr <key> <delta>\r\n"...)
+		}
+		delta, err := strconv.ParseUint(string(fields[2]), 10, 64)
+		if err != nil {
+			return append(resp, "CLIENT_ERROR bad delta\r\n"...)
+		}
+		v, err := c.Incr(string(fields[1]), delta)
+		if err != nil {
+			return append(resp, "NOT_FOUND\r\n"...)
+		}
+		resp = strconv.AppendUint(resp, v, 10)
+		return append(resp, "\r\n"...)
+
+	default:
+		return append(resp, "ERROR unknown command\r\n"...)
+	}
+}
+
+func appendValue(resp, key []byte, flags uint32, v []byte) []byte {
+	resp = append(resp, fmt.Sprintf("VALUE %s %d %d\r\n", key, flags, len(v))...)
+	resp = append(resp, v...)
+	return append(resp, "\r\n"...)
+}

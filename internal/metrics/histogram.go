@@ -1,0 +1,205 @@
+// Package metrics provides the measurement machinery for experiments:
+// HDR-style log-linear histograms with bounded relative error,
+// per-request-type recorders for latency and slowdown, and windowed
+// time series for experiments that track behaviour over time.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"time"
+)
+
+// Histogram records int64 values (nanoseconds, or scaled ratios) in
+// log-linear buckets with 64 sub-buckets per power of two, giving a
+// worst-case relative error of 1/64 (~1.6%) on reported quantiles.
+// The zero value is ready to use. Not safe for concurrent use.
+type Histogram struct {
+	counts []uint64
+	count  uint64
+	sum    float64
+	min    int64
+	max    int64
+}
+
+const (
+	subBucketBits      = 6
+	subBucketCount     = 1 << subBucketBits // 64
+	subBucketHalfCount = subBucketCount / 2 // 32
+	// maxRecordable caps values so indexes stay in range; ~13 days in
+	// nanoseconds, far beyond any simulated latency.
+	maxRecordable = int64(1) << 50
+)
+
+// countsIndex maps a non-negative value to its bucket index.
+func countsIndex(v int64) int {
+	bucketIdx := bits.Len64(uint64(v)|(subBucketCount-1)) - subBucketBits
+	subBucketIdx := int(v >> uint(bucketIdx))
+	return (bucketIdx+1)*subBucketHalfCount + (subBucketIdx - subBucketHalfCount)
+}
+
+// bucketLowerBound returns the smallest value mapping to index idx.
+func bucketLowerBound(idx int) int64 {
+	bucketIdx := idx/subBucketHalfCount - 1
+	subBucketIdx := idx%subBucketHalfCount + subBucketHalfCount
+	if bucketIdx < 0 {
+		bucketIdx = 0
+		subBucketIdx -= subBucketHalfCount
+	}
+	return int64(subBucketIdx) << uint(bucketIdx)
+}
+
+// bucketMidpoint returns a representative value for index idx, used
+// when reporting quantiles.
+func bucketMidpoint(idx int) int64 {
+	lo := bucketLowerBound(idx)
+	bucketIdx := idx / subBucketHalfCount
+	if bucketIdx > 0 {
+		bucketIdx--
+	}
+	return lo + (int64(1)<<uint(bucketIdx))/2
+}
+
+// Record adds one observation. Negative values are clamped to zero,
+// values beyond the recordable maximum are clamped down; both cases
+// indicate modelling bugs upstream but must not corrupt the histogram.
+func (h *Histogram) Record(v int64) { h.RecordN(v, 1) }
+
+// RecordN adds n identical observations.
+func (h *Histogram) RecordN(v int64, n uint64) {
+	if n == 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	if v > maxRecordable {
+		v = maxRecordable
+	}
+	idx := countsIndex(v)
+	if idx >= len(h.counts) {
+		grown := make([]uint64, idx+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[idx] += n
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count += n
+	h.sum += float64(v) * float64(n)
+}
+
+// RecordDuration adds a duration observation in nanoseconds.
+func (h *Histogram) RecordDuration(d time.Duration) { h.Record(int64(d)) }
+
+// Count reports the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean reports the exact mean of recorded observations (the sum is
+// tracked outside the buckets), or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min reports the smallest recorded value, or 0 when empty.
+func (h *Histogram) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max reports the largest recorded value, or 0 when empty.
+func (h *Histogram) Max() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile reports the value at quantile q in [0, 1], with the
+// histogram's relative error. Exact recorded min/max are returned at
+// the extremes.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for idx, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			v := bucketMidpoint(idx)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// QuantileDuration is Quantile for duration-valued histograms.
+func (h *Histogram) QuantileDuration(q float64) time.Duration {
+	return time.Duration(h.Quantile(q))
+}
+
+// Merge adds all observations recorded in other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	if len(other.counts) > len(h.counts) {
+		grown := make([]uint64, len(other.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+}
+
+// Reset discards all recorded observations.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.count = 0
+	h.sum = 0
+	h.min = 0
+	h.max = 0
+}
+
+// String summarises the histogram for logs.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("hist{n=%d mean=%.1f p50=%d p99=%d p999=%d max=%d}",
+		h.count, h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999), h.Max())
+}

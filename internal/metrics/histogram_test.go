@@ -1,0 +1,208 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram reports non-zero stats")
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile non-zero")
+	}
+}
+
+func TestSingleValue(t *testing.T) {
+	var h Histogram
+	h.Record(12345)
+	if h.Count() != 1 {
+		t.Fatalf("count %d", h.Count())
+	}
+	for _, q := range []float64{0, 0.5, 0.999, 1} {
+		v := h.Quantile(q)
+		if relErr(v, 12345) > 1.0/32 {
+			t.Fatalf("q=%g: %d, want ~12345", q, v)
+		}
+	}
+	if h.Min() != 12345 || h.Max() != 12345 {
+		t.Fatalf("min/max %d/%d", h.Min(), h.Max())
+	}
+}
+
+func relErr(got, want int64) float64 {
+	if want == 0 {
+		return math.Abs(float64(got))
+	}
+	return math.Abs(float64(got-want)) / float64(want)
+}
+
+func TestExactSmallValues(t *testing.T) {
+	// Values below the sub-bucket count are recorded exactly.
+	var h Histogram
+	for v := int64(0); v < 64; v++ {
+		h.Record(v)
+	}
+	if h.Min() != 0 || h.Max() != 63 {
+		t.Fatalf("min/max %d/%d", h.Min(), h.Max())
+	}
+	if got := h.Quantile(0.5); got < 30 || got > 33 {
+		t.Fatalf("median %d, want ~31", got)
+	}
+}
+
+func TestQuantileAgainstSortedSamples(t *testing.T) {
+	check := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		vals := make([]int64, len(raw))
+		for i, v := range raw {
+			vals[i] = int64(v % 10_000_000)
+			h.Record(vals[i])
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+			rank := int(math.Ceil(q*float64(len(vals)))) - 1
+			if rank < 0 {
+				rank = 0
+			}
+			exact := vals[rank]
+			got := h.Quantile(q)
+			// Histogram guarantees ~1.6% relative error plus the
+			// bucket granularity for small values.
+			if relErr(got, exact) > 0.04 && abs64(got-exact) > 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestMeanExact(t *testing.T) {
+	var h Histogram
+	vals := []int64{5, 100, 2000, 30000, 7}
+	var sum int64
+	for _, v := range vals {
+		h.Record(v)
+		sum += v
+	}
+	want := float64(sum) / float64(len(vals))
+	if math.Abs(h.Mean()-want) > 1e-9 {
+		t.Fatalf("mean %g, want %g", h.Mean(), want)
+	}
+}
+
+func TestNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	if h.Min() != 0 || h.Count() != 1 {
+		t.Fatal("negative value not clamped to 0")
+	}
+}
+
+func TestHugeClamped(t *testing.T) {
+	var h Histogram
+	h.Record(1 << 62)
+	if h.Max() != maxRecordable {
+		t.Fatalf("huge value recorded as %d", h.Max())
+	}
+}
+
+func TestRecordN(t *testing.T) {
+	var h Histogram
+	h.RecordN(100, 1000)
+	if h.Count() != 1000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if relErr(h.Quantile(0.5), 100) > 1.0/32 {
+		t.Fatalf("median %d", h.Quantile(0.5))
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 1000; i++ {
+		a.Record(int64(i))
+		b.Record(int64(10000 + i))
+	}
+	a.Merge(&b)
+	if a.Count() != 2000 {
+		t.Fatalf("merged count %d", a.Count())
+	}
+	if a.Min() != 0 || relErr(a.Max(), 10999) > 0.02 {
+		t.Fatalf("merged min/max %d/%d", a.Min(), a.Max())
+	}
+	med := a.Quantile(0.5)
+	if med > 1100 {
+		t.Fatalf("merged median %d, want <=~1000", med)
+	}
+	// Merging nil/empty is a no-op.
+	before := a.Count()
+	a.Merge(nil)
+	a.Merge(&Histogram{})
+	if a.Count() != before {
+		t.Fatal("empty merge changed count")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var h Histogram
+	h.Record(42)
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Fatal("reset did not clear state")
+	}
+	h.Record(7)
+	if h.Count() != 1 || h.Min() != 7 {
+		t.Fatal("histogram unusable after reset")
+	}
+}
+
+func TestDurationHelpers(t *testing.T) {
+	var h Histogram
+	h.RecordDuration(5 * time.Microsecond)
+	got := h.QuantileDuration(0.5)
+	if got < 4900*time.Nanosecond || got > 5100*time.Nanosecond {
+		t.Fatalf("duration quantile %v", got)
+	}
+}
+
+func TestBucketIndexRoundTrip(t *testing.T) {
+	// Every value's bucket must contain it: lower <= v and the next
+	// bucket's lower > v.
+	for _, v := range []int64{0, 1, 63, 64, 65, 127, 128, 1000, 4095, 4096, 1 << 20, 1<<40 + 12345} {
+		idx := countsIndex(v)
+		lo := bucketLowerBound(idx)
+		hi := bucketLowerBound(idx + 1)
+		if v < lo || v >= hi {
+			t.Fatalf("value %d mapped to bucket [%d,%d)", v, lo, hi)
+		}
+	}
+}
+
+func TestRelativeErrorBound(t *testing.T) {
+	for v := int64(1); v < 1<<30; v = v*3 + 1 {
+		idx := countsIndex(v)
+		mid := bucketMidpoint(idx)
+		if relErr(mid, v) > 1.0/32+0.001 {
+			t.Fatalf("midpoint %d for value %d: error %g", mid, v, relErr(mid, v))
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package metrics
+
+import "time"
+
+// TimeSeries buckets observations into fixed-width windows so that
+// experiments can report how a quantile evolves over (virtual or real)
+// time — the view used by the paper's workload-change experiment
+// (Figure 7).
+type TimeSeries struct {
+	width   time.Duration
+	windows map[int64]map[int]*Histogram // window index -> type -> hist
+	maxIdx  int64
+	minIdx  int64
+	seen    bool
+}
+
+// NewTimeSeries creates a time series with the given window width.
+func NewTimeSeries(width time.Duration) *TimeSeries {
+	if width <= 0 {
+		width = 100 * time.Millisecond
+	}
+	return &TimeSeries{width: width, windows: make(map[int64]map[int]*Histogram)}
+}
+
+// Record adds an observation of the given type at virtual instant at.
+func (t *TimeSeries) Record(at time.Duration, typ int, value int64) {
+	idx := int64(at / t.width)
+	w := t.windows[idx]
+	if w == nil {
+		w = make(map[int]*Histogram)
+		t.windows[idx] = w
+	}
+	h := w[typ]
+	if h == nil {
+		h = &Histogram{}
+		w[typ] = h
+	}
+	h.Record(value)
+	if !t.seen || idx < t.minIdx {
+		t.minIdx = idx
+	}
+	if !t.seen || idx > t.maxIdx {
+		t.maxIdx = idx
+	}
+	t.seen = true
+}
+
+// Point is one window of a series: the window's start time and the
+// requested quantile of the observations recorded in it. Count is the
+// number of observations; windows with no observations are emitted
+// with Count 0 so gaps are visible.
+type Point struct {
+	Start    time.Duration
+	Value    int64
+	Count    uint64
+	Quantile float64
+}
+
+// Series extracts the quantile track for one type across all windows
+// between the first and last observation (of any type).
+func (t *TimeSeries) Series(typ int, q float64) []Point {
+	if !t.seen {
+		return nil
+	}
+	pts := make([]Point, 0, t.maxIdx-t.minIdx+1)
+	for idx := t.minIdx; idx <= t.maxIdx; idx++ {
+		p := Point{Start: time.Duration(idx) * t.width, Quantile: q}
+		if w := t.windows[idx]; w != nil {
+			if h := w[typ]; h != nil {
+				p.Value = h.Quantile(q)
+				p.Count = h.Count()
+			}
+		}
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+// WindowWidth reports the configured window width.
+func (t *TimeSeries) WindowWidth() time.Duration { return t.width }
+
+// Windows reports how many windows hold at least one observation.
+func (t *TimeSeries) Windows() int { return len(t.windows) }

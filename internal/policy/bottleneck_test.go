@@ -1,0 +1,105 @@
+package policy
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+func TestIngressBottleneckSerializes(t *testing.T) {
+	p := &IngressBottleneck{
+		Inner:      NewCFCFS(0),
+		PerRequest: 10 * time.Microsecond,
+	}
+	h := newHarness(4, 1, p)
+	// 4 requests at t=0: with a 10µs dispatcher stage they reach the
+	// (idle) workers at 10/20/30/40µs even though all workers are free.
+	for i := 0; i < 4; i++ {
+		h.at(0, 0, time.Microsecond)
+	}
+	h.s.Run()
+	if h.m.Completed() != 4 {
+		t.Fatalf("completed %d", h.m.Completed())
+	}
+	// Last request: 40µs dispatch + 1µs service = 41µs sojourn.
+	if got := h.rec.Type(0).Latency.QuantileDuration(1); got < 40*time.Microsecond || got > 43*time.Microsecond {
+		t.Fatalf("max sojourn %v, want ~41µs", got)
+	}
+	if p.Deferred() != 3 {
+		t.Fatalf("deferred %d, want 3", p.Deferred())
+	}
+}
+
+func TestIngressBottleneckZeroCostPassThrough(t *testing.T) {
+	p := &IngressBottleneck{Inner: NewCFCFS(0)}
+	h := newHarness(1, 1, p)
+	h.at(0, 0, time.Microsecond)
+	h.s.Run()
+	if got := h.rec.Type(0).Latency.QuantileDuration(1); got != time.Microsecond {
+		t.Fatalf("pass-through latency %v", got)
+	}
+}
+
+func TestIngressBottleneckDropsAtCapacity(t *testing.T) {
+	p := &IngressBottleneck{
+		Inner:      NewCFCFS(0),
+		PerRequest: 100 * time.Microsecond,
+		QueueCap:   2,
+	}
+	h := newHarness(1, 1, p)
+	for i := 0; i < 6; i++ {
+		h.at(0, 0, time.Microsecond)
+	}
+	h.s.Run()
+	// One request is in dispatcher service, two wait (cap 2), three
+	// are shed.
+	if h.m.Dropped() != 3 {
+		t.Fatalf("dropped %d, want 3 (1 serving + cap 2)", h.m.Dropped())
+	}
+}
+
+func TestIngressBottleneckCapsThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	// A 100µs/request dispatcher caps the system at 10k rps no matter
+	// how many workers exist.
+	mix := workload.Mix{
+		Name:  "uni",
+		Types: []workload.TypeSpec{{Name: "x", Ratio: 1, Service: rng.Fixed(time.Microsecond)}},
+	}
+	res, err := cluster.Run(cluster.Config{
+		Workers:        8,
+		Mix:            mix,
+		Rate:           50_000, // 5x the dispatcher's capacity
+		Duration:       200 * time.Millisecond,
+		WarmupFraction: 0.1,
+		Seed:           1,
+		NewPolicy: func() cluster.Policy {
+			return &IngressBottleneck{Inner: NewCFCFS(0), PerRequest: 100 * time.Microsecond, QueueCap: 128}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr := res.Recorder.Throughput()
+	if thr > 11_000 {
+		t.Fatalf("throughput %.0f rps exceeds the 10k dispatcher ceiling", thr)
+	}
+	if res.Machine.Dropped() == 0 {
+		t.Fatal("no drops despite 5x dispatcher overload")
+	}
+}
+
+func TestIngressBottleneckNamePropagation(t *testing.T) {
+	p := &IngressBottleneck{Inner: NewCFCFS(0)}
+	if p.Name() != "c-FCFS+dispatcher" {
+		t.Fatalf("name %q", p.Name())
+	}
+	if !p.Traits().WorkConserving {
+		t.Fatal("traits not delegated")
+	}
+}

@@ -1,0 +1,180 @@
+package policy
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/darc"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// allSpecs enumerates every policy under a small machine, for
+// cross-policy invariant checks.
+func allSpecs(workers, types int) []struct {
+	name string
+	mk   func(seed uint64) cluster.Policy
+} {
+	means := make([]time.Duration, types)
+	for i := range means {
+		means[i] = time.Duration(i+1) * 10 * time.Microsecond
+	}
+	mkDARC := func(noSteal bool) func(seed uint64) cluster.Policy {
+		return func(seed uint64) cluster.Policy {
+			cfg := darc.DefaultConfig(workers)
+			cfg.MinWindowSamples = 200
+			cfg.NoCycleStealing = noSteal
+			return NewDARC(cfg, types, 0)
+		}
+	}
+	return []struct {
+		name string
+		mk   func(seed uint64) cluster.Policy
+	}{
+		{"d-FCFS", func(s uint64) cluster.Policy { return NewDFCFS(rng.New(s), 0) }},
+		{"c-FCFS", func(s uint64) cluster.Policy { return NewCFCFS(0) }},
+		{"steal", func(s uint64) cluster.Policy { return NewWorkStealing(rng.New(s), 0, 100*time.Nanosecond) }},
+		{"ts-sq", func(s uint64) cluster.Policy {
+			return NewTSSingleQueue(TSConfig{Quantum: 5 * time.Microsecond, PreemptCost: time.Microsecond})
+		}},
+		{"ts-mq", func(s uint64) cluster.Policy {
+			return NewTSMultiQueue(TSConfig{Quantum: 5 * time.Microsecond, PreemptCost: time.Microsecond}, types)
+		}},
+		{"ts-ideal", func(s uint64) cluster.Policy { return NewTSIdeal(time.Microsecond, time.Microsecond, 0) }},
+		{"fp", func(s uint64) cluster.Policy { return NewFixedPriority(means, 0) }},
+		{"sjf", func(s uint64) cluster.Policy { return NewSJF(0) }},
+		{"edf", func(s uint64) cluster.Policy { return NewEDF(means, 10, 0) }},
+		{"drr", func(s uint64) cluster.Policy { return NewDRR(types, 10*time.Microsecond, nil, 0) }},
+		{"elastic", func(s uint64) cluster.Policy {
+			cfg := darc.DefaultConfig(workers)
+			cfg.MinWindowSamples = 200
+			e := NewElasticDARC(cfg, types, 0)
+			e.Min = 2
+			e.Interval = 2 * time.Millisecond
+			return e
+		}},
+		{"bottleneck", func(s uint64) cluster.Policy {
+			return &IngressBottleneck{Inner: NewCFCFS(0), PerRequest: 200 * time.Nanosecond}
+		}},
+		{"darc", mkDARC(false)},
+		{"darc-nosteal", mkDARC(true)},
+		{"darc-static", func(s uint64) cluster.Policy { return NewDARCStatic(means, 1, 0) }},
+		{"relabel", func(s uint64) cluster.Policy {
+			cfg := darc.DefaultConfig(workers)
+			cfg.MinWindowSamples = 200
+			return &Relabel{Inner: NewDARC(cfg, types, 0), NumTypes: types, R: rng.New(s + 9)}
+		}},
+	}
+}
+
+// TestConservationAcrossPolicies drives every policy with the same
+// overloaded arrival stream and checks the fundamental accounting
+// invariant: arrived = completed + dropped + in-flight, with in-flight
+// zero after the queues drain, and per-type slowdowns >= 1.
+func TestConservationAcrossPolicies(t *testing.T) {
+	const workers = 3
+	const types = 3
+	mix := workload.Mix{
+		Name: "tri",
+		Types: []workload.TypeSpec{
+			{Name: "a", Ratio: 0.6, Service: rng.Fixed(5 * time.Microsecond)},
+			{Name: "b", Ratio: 0.3, Service: rng.Fixed(50 * time.Microsecond)},
+			{Name: "c", Ratio: 0.1, Service: rng.Fixed(200 * time.Microsecond)},
+		},
+	}
+	for _, spec := range allSpecs(workers, types) {
+		for _, load := range []float64{0.5, 0.95, 1.3} { // includes overload
+			spec, load := spec, load
+			t.Run(fmt.Sprintf("%s@%.2f", spec.name, load), func(t *testing.T) {
+				res, err := cluster.Run(cluster.Config{
+					Workers:        workers,
+					Mix:            mix,
+					LoadFraction:   load,
+					Duration:       60 * time.Millisecond,
+					WarmupFraction: 0.1,
+					Seed:           99,
+					NewPolicy:      func() cluster.Policy { return spec.mk(99) },
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				m := res.Machine
+				if m.Arrived() == 0 {
+					t.Fatal("no arrivals")
+				}
+				total := m.Completed() + m.Dropped() + m.InFlight()
+				if total != m.Arrived() {
+					t.Fatalf("conservation violated: arrived %d != completed %d + dropped %d + inflight %d",
+						m.Arrived(), m.Completed(), m.Dropped(), m.InFlight())
+				}
+				// In-flight is bounded by queued work, which is bounded
+				// by queue caps; it must be far below arrivals at 0.5
+				// load.
+				if load <= 0.5 && m.InFlight() > uint64(workers*2) {
+					t.Fatalf("inflight %d at low load", m.InFlight())
+				}
+				// Slowdown can never be below 1 (sojourn >= service).
+				for i := 0; i < types; i++ {
+					ts := res.Recorder.Type(i)
+					if ts.Completed == 0 {
+						continue
+					}
+					if min := ts.Slowdown.Min(); min < 995 { // scale 1000, 0.5% slack for quantization
+						t.Fatalf("type %d min slowdown %d < 1.0", i, min)
+					}
+				}
+				// Utilization is a fraction.
+				if u := m.Utilization(); u < 0 || u > 1.0001 {
+					t.Fatalf("utilization %g", u)
+				}
+			})
+		}
+	}
+}
+
+// TestOverloadSheds checks that at 1.3x load every bounded-queue
+// policy eventually drops (it must, to stay stable) — except oracle
+// policies with unbounded behavior would violate this; all ours bound
+// queues by default.
+func TestOverloadSheds(t *testing.T) {
+	mix := workload.Mix{
+		Name: "uni",
+		Types: []workload.TypeSpec{
+			{Name: "only", Ratio: 1.0, Service: rng.Fixed(20 * time.Microsecond)},
+		},
+	}
+	// Queue cap 64 makes shedding fast.
+	specs := []struct {
+		name string
+		mk   func() cluster.Policy
+	}{
+		{"c-FCFS", func() cluster.Policy { return NewCFCFS(64) }},
+		{"sjf", func() cluster.Policy { return NewSJF(64) }},
+		{"fp", func() cluster.Policy { return NewFixedPriority([]time.Duration{20 * time.Microsecond}, 64) }},
+	}
+	for _, spec := range specs {
+		t.Run(spec.name, func(t *testing.T) {
+			res, err := cluster.Run(cluster.Config{
+				Workers:        2,
+				Mix:            mix,
+				LoadFraction:   1.5,
+				Duration:       100 * time.Millisecond,
+				WarmupFraction: 0.1,
+				Seed:           3,
+				NewPolicy:      spec.mk,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Machine.Dropped() == 0 {
+				t.Fatal("no drops under 1.5x overload with cap 64")
+			}
+			// The machine must stay saturated, not collapse.
+			if u := res.Machine.Utilization(); u < 0.9 {
+				t.Fatalf("utilization %g under overload", u)
+			}
+		})
+	}
+}

@@ -1,0 +1,110 @@
+package policy
+
+import (
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// DRR is non-preemptive Deficit (Weighted) Round Robin over typed
+// queues (Table 5): queues take turns, each accumulating a quantum of
+// service-time credit per round and dispatching while its head fits in
+// the accumulated deficit. Fair between types by construction, but —
+// as the paper's table notes — it neither prioritizes short requests
+// nor prevents head-of-line blocking within a turn.
+type DRR struct {
+	m        *cluster.Machine
+	queues   []cluster.FIFO
+	deficit  []time.Duration
+	weights  []int
+	quantum  time.Duration
+	rr       int
+	numTypes int
+	cap      int
+}
+
+// NewDRR builds the policy: quantum is the per-round service credit,
+// weights (optional, default all 1) scale it per type.
+func NewDRR(numTypes int, quantum time.Duration, weights []int, queueCap int) *DRR {
+	if quantum <= 0 {
+		quantum = 10 * time.Microsecond
+	}
+	w := make([]int, numTypes)
+	for i := range w {
+		w[i] = 1
+		if weights != nil && i < len(weights) && weights[i] > 0 {
+			w[i] = weights[i]
+		}
+	}
+	return &DRR{numTypes: numTypes, quantum: quantum, weights: w, cap: normalizeCap(queueCap)}
+}
+
+// Name implements cluster.Policy.
+func (p *DRR) Name() string { return "DRR" }
+
+// Traits implements TraitsProvider.
+func (p *DRR) Traits() Traits {
+	return Traits{AppAware: true, TypedQueues: true, WorkConserving: true, Preemptive: false}
+}
+
+// Init implements cluster.Policy.
+func (p *DRR) Init(m *cluster.Machine) {
+	p.m = m
+	p.queues = make([]cluster.FIFO, p.numTypes)
+	p.deficit = make([]time.Duration, p.numTypes)
+	for i := range p.queues {
+		p.queues[i].Cap = p.cap
+	}
+}
+
+func (p *DRR) clampType(t int) int {
+	if t < 0 || t >= p.numTypes {
+		return p.numTypes - 1
+	}
+	return t
+}
+
+// Arrive implements cluster.Policy.
+func (p *DRR) Arrive(r *cluster.Request) {
+	for _, w := range p.m.Workers {
+		if w.Idle() {
+			p.m.Run(w, r)
+			return
+		}
+	}
+	pushOrDrop(p.m, &p.queues[p.clampType(r.Type)], r)
+}
+
+// WorkerFree implements cluster.Policy: classic DRR selection. Each
+// pass over the queues grants a quantum×weight credit; we keep passing
+// until some head fits its queue's deficit (termination: deficits grow
+// every pass while any queue is non-empty).
+func (p *DRR) WorkerFree(w *cluster.Worker) {
+	nonEmpty := 0
+	for i := range p.queues {
+		if !p.queues[i].Empty() {
+			nonEmpty++
+		} else {
+			p.deficit[i] = 0 // empty queues don't hoard credit
+		}
+	}
+	if nonEmpty == 0 {
+		return
+	}
+	for {
+		for scanned := 0; scanned < p.numTypes; scanned++ {
+			i := p.rr
+			p.rr = (p.rr + 1) % p.numTypes
+			q := &p.queues[i]
+			if q.Empty() {
+				continue
+			}
+			if head := q.Peek(); head.Service <= p.deficit[i] {
+				p.deficit[i] -= head.Service
+				p.m.Run(w, q.Pop())
+				return
+			}
+			p.deficit[i] += p.quantum * time.Duration(p.weights[i])
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package policy
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEDFOrdersByDeadline(t *testing.T) {
+	// Type 0: 1µs mean → 10µs relative deadline; type 1: 100µs → 1ms.
+	p := NewEDF([]time.Duration{time.Microsecond, 100 * time.Microsecond}, 10, 0)
+	h := newHarness(1, 2, p)
+	h.at(0, 1, 50*time.Microsecond) // occupies the worker
+	// Queue a long (deadline 1µs+1ms) then a short (deadline 2µs+10µs):
+	// the short's deadline is earlier, it must run first.
+	h.at(time.Microsecond, 1, 50*time.Microsecond)
+	h.at(2*time.Microsecond, 0, time.Microsecond)
+	h.s.Run()
+	short := h.rec.Type(0).Latency.QuantileDuration(1)
+	// Short runs right after the first long: ~49µs wait + 1µs.
+	if short > 55*time.Microsecond {
+		t.Fatalf("short latency %v: EDF order violated", short)
+	}
+}
+
+func TestEDFPriorityInversion(t *testing.T) {
+	// Equal relative deadlines turn EDF into FCFS: a short arriving
+	// after a long waits behind it — the paper's "can lead to priority
+	// inversion".
+	p := NewEDF([]time.Duration{50 * time.Microsecond, 50 * time.Microsecond}, 1, 0)
+	h := newHarness(1, 2, p)
+	h.at(0, 1, 100*time.Microsecond)
+	h.at(time.Microsecond, 1, 100*time.Microsecond)
+	h.at(2*time.Microsecond, 0, time.Microsecond)
+	h.s.Run()
+	short := h.rec.Type(0).Latency.QuantileDuration(1)
+	if short < 190*time.Microsecond {
+		t.Fatalf("short latency %v: expected inversion behind both longs", short)
+	}
+}
+
+func TestEDFDropsAtCapacity(t *testing.T) {
+	p := NewEDF([]time.Duration{time.Microsecond}, 10, 2)
+	h := newHarness(1, 1, p)
+	for i := 0; i < 5; i++ {
+		h.at(0, 0, 10*time.Microsecond)
+	}
+	h.s.Run()
+	if h.m.Dropped() != 2 {
+		t.Fatalf("dropped %d, want 2", h.m.Dropped())
+	}
+	if h.m.Completed() != 3 {
+		t.Fatalf("completed %d", h.m.Completed())
+	}
+}
+
+func TestDRRAlternatesQueues(t *testing.T) {
+	p := NewDRR(2, 10*time.Microsecond, nil, 0)
+	h := newHarness(1, 2, p)
+	// Occupy the worker, then queue 3 requests of each type (10µs
+	// each). DRR must interleave the two queues rather than drain one.
+	h.at(0, 0, 10*time.Microsecond)
+	for i := 0; i < 3; i++ {
+		h.at(time.Microsecond, 0, 10*time.Microsecond)
+		h.at(time.Microsecond, 1, 10*time.Microsecond)
+	}
+	h.s.Run()
+	if h.m.Completed() != 7 {
+		t.Fatalf("completed %d", h.m.Completed())
+	}
+	// Both types finish around the same time under fair sharing: their
+	// p100 latencies are within ~2 service times of each other.
+	a := h.rec.Type(0).Latency.QuantileDuration(1)
+	b := h.rec.Type(1).Latency.QuantileDuration(1)
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 25*time.Microsecond {
+		t.Fatalf("unfair completion spread: %v vs %v", a, b)
+	}
+}
+
+func TestDRRWeights(t *testing.T) {
+	// Weight 3:1 — type 0 should get through its backlog much sooner.
+	p := NewDRR(2, 10*time.Microsecond, []int{3, 1}, 0)
+	h := newHarness(1, 2, p)
+	h.at(0, 0, 10*time.Microsecond)
+	for i := 0; i < 6; i++ {
+		h.at(time.Microsecond, 0, 10*time.Microsecond)
+		h.at(time.Microsecond, 1, 10*time.Microsecond)
+	}
+	h.s.Run()
+	a := h.rec.Type(0).Latency.Mean()
+	b := h.rec.Type(1).Latency.Mean()
+	if a >= b {
+		t.Fatalf("weighted type mean %.0f not faster than unweighted %.0f", a, b)
+	}
+}
+
+func TestDRREmptyQueuesLoseCredit(t *testing.T) {
+	p := NewDRR(2, 10*time.Microsecond, nil, 0)
+	h := newHarness(1, 2, p)
+	// Only type 1 traffic: type 0's deficit must not hoard.
+	for i := 0; i < 5; i++ {
+		h.at(time.Duration(i)*time.Microsecond, 1, 10*time.Microsecond)
+	}
+	h.s.Run()
+	if h.m.Completed() != 5 {
+		t.Fatalf("completed %d", h.m.Completed())
+	}
+}

@@ -1,0 +1,165 @@
+package policy
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/darc"
+	"repro/internal/workload"
+)
+
+func elasticConfig(workers int) darc.Config {
+	cfg := darc.DefaultConfig(workers)
+	cfg.MinWindowSamples = 500
+	return cfg
+}
+
+func TestElasticGrowsUnderLoad(t *testing.T) {
+	var resizes []int
+	p := NewElasticDARC(elasticConfig(8), 2, 0)
+	p.Min = 2
+	p.Interval = 5 * time.Millisecond
+	p.OnResize = func(_ time.Duration, active int) { resizes = append(resizes, active) }
+	res, err := cluster.Run(cluster.Config{
+		Workers:        8,
+		Mix:            workload.HighBimodal(),
+		LoadFraction:   0.9, // of the full 8-worker peak: pressure
+		Duration:       300 * time.Millisecond,
+		WarmupFraction: 0.1,
+		Seed:           5,
+		NewPolicy:      func() cluster.Policy { return p },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Active() <= (2+8)/2 {
+		t.Fatalf("active %d did not grow from %d under 90%% load", p.Active(), (2+8)/2)
+	}
+	if p.Resizes() == 0 {
+		t.Fatal("no resizes recorded")
+	}
+	if res.Machine.Completed() == 0 {
+		t.Fatal("no completions")
+	}
+	// Resize events were observed in order.
+	if len(resizes) == 0 {
+		t.Fatal("OnResize never fired")
+	}
+}
+
+func TestElasticShrinksWhenIdle(t *testing.T) {
+	p := NewElasticDARC(elasticConfig(8), 2, 0)
+	p.Min = 2
+	p.Interval = 5 * time.Millisecond
+	_, err := cluster.Run(cluster.Config{
+		Workers:        8,
+		Mix:            workload.HighBimodal(),
+		LoadFraction:   0.05, // nearly idle
+		Duration:       300 * time.Millisecond,
+		WarmupFraction: 0.1,
+		Seed:           6,
+		NewPolicy:      func() cluster.Policy { return p },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Active() != p.Min {
+		t.Fatalf("active %d, want shrink to Min=%d at 5%% load", p.Active(), p.Min)
+	}
+}
+
+func TestElasticRespectsBounds(t *testing.T) {
+	p := NewElasticDARC(elasticConfig(4), 2, 0)
+	p.Min = 3
+	p.Max = 3
+	_, err := cluster.Run(cluster.Config{
+		Workers:        4,
+		Mix:            workload.HighBimodal(),
+		LoadFraction:   0.9,
+		Duration:       100 * time.Millisecond,
+		WarmupFraction: 0.1,
+		Seed:           7,
+		NewPolicy:      func() cluster.Policy { return p },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Active() != 3 {
+		t.Fatalf("active %d, want pinned at 3", p.Active())
+	}
+}
+
+func TestElasticMinAccountsForSpillway(t *testing.T) {
+	cfg := elasticConfig(8)
+	cfg.Spillway = 1
+	p := NewElasticDARC(cfg, 2, 0)
+	p.Min = 1 // must be lifted to spillway+1
+	_, err := cluster.Run(cluster.Config{
+		Workers:        8,
+		Mix:            workload.HighBimodal(),
+		LoadFraction:   0.05,
+		Duration:       200 * time.Millisecond,
+		WarmupFraction: 0.1,
+		Seed:           8,
+		NewPolicy:      func() cluster.Policy { return p },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Active() < 2 {
+		t.Fatalf("active %d below spillway+1", p.Active())
+	}
+}
+
+func TestControllerResize(t *testing.T) {
+	ctl, err := darc.NewController(elasticConfig(8), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed a profile and install a reservation.
+	for i := 0; i < 600; i++ {
+		ctl.Observe(i%2, time.Duration(1+99*(i%2))*time.Microsecond)
+	}
+	if !ctl.MaybeUpdate() {
+		t.Fatal("no initial reservation")
+	}
+	before := ctl.Reservation()
+	changed, err := ctl.Resize(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("resize did not recompute")
+	}
+	after := ctl.Reservation()
+	if after == before {
+		t.Fatal("reservation unchanged object")
+	}
+	// No reserved worker may exceed the new population.
+	for _, g := range after.Groups {
+		for _, w := range append(append([]int{}, g.Reserved...), g.Stealable...) {
+			if w >= 4 {
+				t.Fatalf("worker %d outside resized population", w)
+			}
+		}
+	}
+	// Invalid sizes fail.
+	if _, err := ctl.Resize(0); err == nil {
+		t.Fatal("resize to 0 accepted")
+	}
+}
+
+func TestControllerResizeBeforeProfile(t *testing.T) {
+	ctl, err := darc.NewController(elasticConfig(8), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed, err := ctl.Resize(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed || ctl.Reservation() != nil {
+		t.Fatal("resize before any sample installed a reservation")
+	}
+}

@@ -1,0 +1,159 @@
+package policy
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/darc"
+	"repro/internal/workload"
+)
+
+// reservationAuditor wraps DARC and verifies, at every completion,
+// that the worker that executed the request was eligible for its type
+// under the reservation in force — Algorithm 1's core contract:
+// reserved ∪ stealable for known types, spillway for unknown ones.
+type reservationAuditor struct {
+	*DARC
+	t          *testing.T
+	violations int
+	checked    int
+	// lastUpdate is the virtual instant the current reservation took
+	// effect; requests dispatched before it ran under the previous
+	// reservation and are exempt (non-preemptive policies never
+	// migrate running work).
+	lastUpdate time.Duration
+}
+
+func (a *reservationAuditor) Init(m *cluster.Machine) {
+	a.DARC.OnReservationUpdate = func(now time.Duration, _ *darc.Reservation) {
+		a.lastUpdate = now
+	}
+	a.DARC.Init(m)
+}
+
+func (a *reservationAuditor) Completed(w *cluster.Worker, r *cluster.Request) {
+	res := a.Controller().Reservation()
+	if res != nil && r.FirstDispatch >= a.lastUpdate {
+		allowed := false
+		for _, id := range res.ReservedFor(r.Type) {
+			if id == w.ID {
+				allowed = true
+			}
+		}
+		for _, id := range res.StealableFor(r.Type) {
+			if id == w.ID {
+				allowed = true
+			}
+		}
+		if !allowed {
+			a.violations++
+			if a.violations < 5 {
+				a.t.Errorf("type %d completed on worker %d outside reserved %v / stealable %v",
+					r.Type, w.ID, res.ReservedFor(r.Type), res.StealableFor(r.Type))
+			}
+		} else {
+			a.checked++
+		}
+	}
+	a.DARC.Completed(w, r)
+}
+
+// TestDARCDispatchRespectsReservation drives DARC with sustained
+// traffic across several mixes and asserts no request ever ran on a
+// core its type was not entitled to.
+func TestDARCDispatchRespectsReservation(t *testing.T) {
+	mixes := []workload.Mix{
+		workload.HighBimodal(),
+		workload.ExtremeBimodal(),
+		workload.TPCC(),
+	}
+	for _, mix := range mixes {
+		mix := mix
+		t.Run(mix.Name, func(t *testing.T) {
+			cfg := darc.DefaultConfig(8)
+			cfg.MinWindowSamples = 1000
+			auditor := &reservationAuditor{DARC: NewDARC(cfg, len(mix.Types), 0), t: t}
+			_, err := cluster.Run(cluster.Config{
+				Workers:        8,
+				Mix:            mix,
+				LoadFraction:   0.85,
+				Duration:       150 * time.Millisecond,
+				WarmupFraction: 0.1,
+				Seed:           21,
+				NewPolicy:      func() cluster.Policy { return auditor },
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if auditor.checked == 0 {
+				t.Fatal("no post-reservation completions audited")
+			}
+			if auditor.violations > 0 {
+				t.Fatalf("%d reservation violations out of %d audited", auditor.violations, auditor.checked)
+			}
+		})
+	}
+}
+
+// TestDARCSpillwayExclusivity checks the unknown-request contract on a
+// machine with a spillway: unknown requests complete, and only on
+// spillway cores.
+func TestDARCSpillwayExclusivity(t *testing.T) {
+	cfg := darc.DefaultConfig(4)
+	cfg.MinWindowSamples = 200
+	type seen struct {
+		worker int
+		typ    int
+	}
+	var unknownRuns []seen
+	p := NewDARC(cfg, 2, 0)
+	aud := &unknownAuditor{DARC: p, record: func(w, typ int) {
+		if typ < 0 || typ >= 2 {
+			unknownRuns = append(unknownRuns, seen{worker: w, typ: typ})
+		}
+	}}
+	s := newHarness(4, 2, aud)
+	// Warm up to install a reservation, then inject unknowns.
+	var at time.Duration
+	for i := 0; i < 300; i++ {
+		s.at(at, i%2, time.Duration(1+20*(i%2))*time.Microsecond)
+		at += 30 * time.Microsecond
+	}
+	for i := 0; i < 10; i++ {
+		s.at(at+time.Duration(i)*50*time.Microsecond, 99, 5*time.Microsecond)
+	}
+	s.s.Run()
+	if p.Controller().Reservation() == nil {
+		t.Fatal("no reservation installed")
+	}
+	if len(unknownRuns) != 10 {
+		t.Fatalf("unknown completions %d, want 10", len(unknownRuns))
+	}
+	spill := p.Controller().Reservation().SpillwayWorkers
+	for _, u := range unknownRuns {
+		ok := false
+		for _, sw := range spill {
+			if u.worker == sw {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("unknown request ran on worker %d, spillway is %v", u.worker, spill)
+		}
+	}
+}
+
+type unknownAuditor struct {
+	*DARC
+	record func(worker, typ int)
+}
+
+func (a *unknownAuditor) Completed(w *cluster.Worker, r *cluster.Request) {
+	// Only audit after the reservation exists (startup c-FCFS may run
+	// anything anywhere).
+	if a.Controller().Reservation() != nil {
+		a.record(w.ID, r.Type)
+	}
+	a.DARC.Completed(w, r)
+}

@@ -1,0 +1,50 @@
+package policy
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/rng"
+)
+
+// Relabel wraps another policy and overwrites every arriving request's
+// type with a uniformly random one — the paper's Figure 9 "broken
+// request classifier" experiment. With a random classifier each typed
+// queue receives an even mixture of types, so DARC degenerates to
+// c-FCFS.
+type Relabel struct {
+	Inner    cluster.Policy
+	NumTypes int
+	R        *rng.RNG
+}
+
+// Name implements cluster.Policy.
+func (p *Relabel) Name() string { return p.Inner.Name() + "-random" }
+
+// Traits implements TraitsProvider (delegates when possible).
+func (p *Relabel) Traits() Traits {
+	if tp, ok := p.Inner.(TraitsProvider); ok {
+		t := tp.Traits()
+		t.AppAware = false // the classification signal is destroyed
+		return t
+	}
+	return Traits{}
+}
+
+// Init implements cluster.Policy.
+func (p *Relabel) Init(m *cluster.Machine) { p.Inner.Init(m) }
+
+// Arrive implements cluster.Policy.
+func (p *Relabel) Arrive(r *cluster.Request) {
+	r.Type = p.R.Intn(p.NumTypes)
+	p.Inner.Arrive(r)
+}
+
+// WorkerFree implements cluster.Policy.
+func (p *Relabel) WorkerFree(w *cluster.Worker) { p.Inner.WorkerFree(w) }
+
+// Completed implements cluster.CompletionObserver when the inner
+// policy does.
+func (p *Relabel) Completed(w *cluster.Worker, r *cluster.Request) {
+	if co, ok := p.Inner.(cluster.CompletionObserver); ok {
+		co.Completed(w, r)
+	}
+}

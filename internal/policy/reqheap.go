@@ -1,0 +1,102 @@
+package policy
+
+import "repro/internal/cluster"
+
+// requestHeap is a bounded binary min-heap of requests under an
+// arbitrary ordering, used by the SRPT-flavoured policies (oracle SJF,
+// idealized time sharing). Ties break by arrival order via a
+// monotonic sequence number.
+type requestHeap struct {
+	less  func(a, b *cluster.Request) bool
+	items []heapItem
+	seq   uint64
+	// Cap bounds the heap; 0 means unbounded.
+	Cap int
+}
+
+type heapItem struct {
+	r   *cluster.Request
+	seq uint64
+}
+
+func newRequestHeap(capacity int, less func(a, b *cluster.Request) bool) *requestHeap {
+	return &requestHeap{less: less, Cap: capacity}
+}
+
+func (h *requestHeap) Len() int    { return len(h.items) }
+func (h *requestHeap) Empty() bool { return len(h.items) == 0 }
+
+// Push inserts r, reporting false when the heap is at capacity.
+func (h *requestHeap) Push(r *cluster.Request) bool {
+	if h.Cap > 0 && len(h.items) >= h.Cap {
+		return false
+	}
+	h.items = append(h.items, heapItem{r: r, seq: h.seq})
+	h.seq++
+	h.up(len(h.items) - 1)
+	return true
+}
+
+// Pop removes and returns the minimum request, or nil.
+func (h *requestHeap) Pop() *cluster.Request {
+	if len(h.items) == 0 {
+		return nil
+	}
+	top := h.items[0].r
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+// Peek returns the minimum request without removing it, or nil.
+func (h *requestHeap) Peek() *cluster.Request {
+	if len(h.items) == 0 {
+		return nil
+	}
+	return h.items[0].r
+}
+
+func (h *requestHeap) before(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if h.less(a.r, b.r) {
+		return true
+	}
+	if h.less(b.r, a.r) {
+		return false
+	}
+	return a.seq < b.seq
+}
+
+func (h *requestHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.before(i, parent) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *requestHeap) down(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		child := left
+		if right := left + 1; right < n && h.before(right, left) {
+			child = right
+		}
+		if !h.before(child, i) {
+			return
+		}
+		h.items[i], h.items[child] = h.items[child], h.items[i]
+		i = child
+	}
+}

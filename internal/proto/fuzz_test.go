@@ -1,0 +1,33 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeHeader asserts DecodeHeader never panics and never returns
+// a payload longer than the datagram on arbitrary input, and that
+// valid messages round-trip.
+func FuzzDecodeHeader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, HeaderSize))
+	f.Add(AppendMessage(nil, Header{Kind: KindRequest, TypeID: 2, RequestID: 9}, []byte("seed")))
+	f.Add(AppendMessage(nil, Header{Kind: KindResponse, Status: StatusDropped}, nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, payload, err := DecodeHeader(data)
+		if err != nil {
+			return
+		}
+		if len(payload) != int(h.PayloadLen) {
+			t.Fatalf("payload %d != header claim %d", len(payload), h.PayloadLen)
+		}
+		if HeaderSize+len(payload) > len(data) {
+			t.Fatal("payload exceeds datagram")
+		}
+		// Re-encoding the parsed message must reproduce the prefix.
+		out := AppendMessage(nil, h, payload)
+		if !bytes.Equal(out, data[:len(out)]) {
+			t.Fatalf("re-encode mismatch: %x vs %x", out, data[:len(out)])
+		}
+	})
+}

@@ -1,0 +1,113 @@
+// Package proto defines the UDP wire format the live runtime's client
+// and server speak: a fixed 16-byte header followed by an opaque
+// application payload. The request type lives in the header, matching
+// the paper's evaluation protocol ("transaction ID, query ID, and
+// synthetic request types are located in the requests' header").
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Magic identifies Perséphone datagrams.
+const Magic uint16 = 0x9590
+
+// HeaderSize is the fixed header length in bytes.
+const HeaderSize = 16
+
+// Kind discriminates requests from responses.
+type Kind uint8
+
+const (
+	// KindRequest is a client-to-server message.
+	KindRequest Kind = 1
+	// KindResponse is a server-to-client message.
+	KindResponse Kind = 2
+)
+
+// Status reports the server-side outcome in responses.
+type Status uint8
+
+const (
+	// StatusOK marks a successfully processed request.
+	StatusOK Status = 0
+	// StatusDropped marks a request shed by flow control.
+	StatusDropped Status = 1
+	// StatusError marks an application processing failure.
+	StatusError Status = 2
+)
+
+// Header is the fixed message prefix.
+//
+// Layout (little endian):
+//
+//	0:2   magic
+//	2:3   kind
+//	3:4   status
+//	4:6   type id
+//	6:8   payload length
+//	8:16  request id
+type Header struct {
+	Kind       Kind
+	Status     Status
+	TypeID     uint16
+	PayloadLen uint16
+	RequestID  uint64
+}
+
+// Errors returned by Decode.
+var (
+	ErrTooShort = errors.New("proto: datagram shorter than header")
+	ErrBadMagic = errors.New("proto: bad magic")
+)
+
+// EncodeHeader writes h into buf, which must hold at least HeaderSize
+// bytes, and returns HeaderSize.
+func EncodeHeader(buf []byte, h Header) int {
+	_ = buf[HeaderSize-1]
+	binary.LittleEndian.PutUint16(buf[0:2], Magic)
+	buf[2] = byte(h.Kind)
+	buf[3] = byte(h.Status)
+	binary.LittleEndian.PutUint16(buf[4:6], h.TypeID)
+	binary.LittleEndian.PutUint16(buf[6:8], h.PayloadLen)
+	binary.LittleEndian.PutUint64(buf[8:16], h.RequestID)
+	return HeaderSize
+}
+
+// DecodeHeader parses the header of a datagram and returns it along
+// with the payload slice (aliasing buf).
+func DecodeHeader(buf []byte) (Header, []byte, error) {
+	if len(buf) < HeaderSize {
+		return Header{}, nil, ErrTooShort
+	}
+	if binary.LittleEndian.Uint16(buf[0:2]) != Magic {
+		return Header{}, nil, ErrBadMagic
+	}
+	h := Header{
+		Kind:       Kind(buf[2]),
+		Status:     Status(buf[3]),
+		TypeID:     binary.LittleEndian.Uint16(buf[4:6]),
+		PayloadLen: binary.LittleEndian.Uint16(buf[6:8]),
+		RequestID:  binary.LittleEndian.Uint64(buf[8:16]),
+	}
+	payload := buf[HeaderSize:]
+	if int(h.PayloadLen) > len(payload) {
+		return Header{}, nil, fmt.Errorf("proto: payload length %d exceeds datagram remainder %d", h.PayloadLen, len(payload))
+	}
+	return h, payload[:h.PayloadLen], nil
+}
+
+// AppendMessage encodes a full message (header + payload) into dst,
+// returning the extended slice.
+func AppendMessage(dst []byte, h Header, payload []byte) []byte {
+	if len(payload) > 0xFFFF {
+		panic("proto: payload exceeds 64KiB")
+	}
+	h.PayloadLen = uint16(len(payload))
+	var hdr [HeaderSize]byte
+	EncodeHeader(hdr[:], h)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}

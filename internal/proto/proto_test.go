@@ -1,0 +1,94 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{Kind: KindRequest, Status: StatusOK, TypeID: 3, RequestID: 0xDEADBEEFCAFE}
+	payload := []byte("hello world")
+	msg := AppendMessage(nil, h, payload)
+	if len(msg) != HeaderSize+len(payload) {
+		t.Fatalf("message length %d", len(msg))
+	}
+	got, body, err := DecodeHeader(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != h.Kind || got.Status != h.Status || got.TypeID != h.TypeID || got.RequestID != h.RequestID {
+		t.Fatalf("decoded %+v, want %+v", got, h)
+	}
+	if !bytes.Equal(body, payload) {
+		t.Fatalf("payload %q", body)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeHeader(make([]byte, 5)); err != ErrTooShort {
+		t.Fatalf("short datagram: %v", err)
+	}
+	bad := make([]byte, HeaderSize)
+	if _, _, err := DecodeHeader(bad); err != ErrBadMagic {
+		t.Fatalf("zero magic: %v", err)
+	}
+	// Payload length larger than the datagram.
+	msg := AppendMessage(nil, Header{Kind: KindRequest}, []byte("abc"))
+	msg[6] = 200 // corrupt PayloadLen
+	if _, _, err := DecodeHeader(msg); err == nil {
+		t.Fatal("oversized payload length accepted")
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	msg := AppendMessage(nil, Header{Kind: KindResponse, RequestID: 7}, nil)
+	h, body, err := DecodeHeader(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != 0 || h.RequestID != 7 {
+		t.Fatalf("h=%+v body=%q", h, body)
+	}
+}
+
+func TestTrailingBytesIgnored(t *testing.T) {
+	msg := AppendMessage(nil, Header{Kind: KindRequest, TypeID: 1}, []byte("xy"))
+	msg = append(msg, 0xFF, 0xFF) // UDP datagrams can carry padding
+	_, body, err := DecodeHeader(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != "xy" {
+		t.Fatalf("payload %q", body)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	check := func(kind, status uint8, typeID uint16, reqID uint64, payload []byte) bool {
+		if len(payload) > 0xFFFF {
+			payload = payload[:0xFFFF]
+		}
+		h := Header{Kind: Kind(kind), Status: Status(status), TypeID: typeID, RequestID: reqID}
+		msg := AppendMessage(nil, h, payload)
+		got, body, err := DecodeHeader(msg)
+		if err != nil {
+			return false
+		}
+		return got.Kind == h.Kind && got.Status == h.Status &&
+			got.TypeID == h.TypeID && got.RequestID == h.RequestID &&
+			bytes.Equal(body, payload)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOversizedPayloadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for >64KiB payload")
+		}
+	}()
+	AppendMessage(nil, Header{}, make([]byte, 1<<17))
+}

@@ -1,0 +1,87 @@
+package psp
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// WriteMetrics renders the server's counters and per-type latency
+// quantiles in the Prometheus text exposition format, so a live
+// Perséphone can be scraped by standard tooling.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	st := s.StatsSnapshot()
+	var b strings.Builder
+	b.WriteString("# HELP persephone_requests_total Requests admitted to typed queues.\n")
+	b.WriteString("# TYPE persephone_requests_total counter\n")
+	fmt.Fprintf(&b, "persephone_requests_total %d\n", st.Enqueued)
+	b.WriteString("# HELP persephone_dispatched_total Requests handed to workers.\n")
+	b.WriteString("# TYPE persephone_dispatched_total counter\n")
+	fmt.Fprintf(&b, "persephone_dispatched_total %d\n", st.Dispatched)
+	b.WriteString("# HELP persephone_dropped_total Requests shed by flow control.\n")
+	b.WriteString("# TYPE persephone_dropped_total counter\n")
+	fmt.Fprintf(&b, "persephone_dropped_total %d\n", st.Dropped)
+	b.WriteString("# HELP persephone_reservation_updates_total DARC reservation recomputations.\n")
+	b.WriteString("# TYPE persephone_reservation_updates_total counter\n")
+	fmt.Fprintf(&b, "persephone_reservation_updates_total %d\n", st.Updates)
+
+	b.WriteString("# HELP persephone_latency_seconds Server-side sojourn quantiles per request type.\n")
+	b.WriteString("# TYPE persephone_latency_seconds summary\n")
+	for _, row := range st.Summaries {
+		if row.Completed == 0 {
+			continue
+		}
+		name := sanitizeLabel(row.Name)
+		fmt.Fprintf(&b, "persephone_latency_seconds{type=%q,quantile=\"0.5\"} %g\n", name, row.P50.Seconds())
+		fmt.Fprintf(&b, "persephone_latency_seconds{type=%q,quantile=\"0.99\"} %g\n", name, row.P99.Seconds())
+		fmt.Fprintf(&b, "persephone_latency_seconds{type=%q,quantile=\"0.999\"} %g\n", name, row.P999.Seconds())
+		fmt.Fprintf(&b, "persephone_latency_seconds_count{type=%q} %d\n", name, row.Completed)
+		fmt.Fprintf(&b, "persephone_slowdown_p999{type=%q} %g\n", name, row.Slowdown999)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sanitizeLabel(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+// ServeMetrics exposes /metrics (and /healthz) on addr, returning the
+// bound address and a shutdown function. It uses a fresh mux — no
+// global handler registration.
+func (s *Server) ServeMetrics(addr string) (bound string, shutdown func() error, err error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.WriteMetrics(w) //nolint:errcheck
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.stopped.Load() {
+			http.Error(w, "stopped", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	ln, err := newListener(addr)
+	if err != nil {
+		return "", nil, err
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	return ln.Addr().String(), srv.Close, nil
+}
+
+// newListener binds a TCP listener for the metrics endpoint.
+func newListener(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}

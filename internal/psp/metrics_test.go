@@ -1,0 +1,96 @@
+package psp
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteMetrics(t *testing.T) {
+	srv := newEchoServer(t, 2, ModeDARC)
+	for i := 0; i < 50; i++ {
+		if _, err := srv.Call(typedPayload(i%2, "m")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := srv.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"persephone_requests_total",
+		"persephone_dispatched_total",
+		"persephone_dropped_total 0",
+		"persephone_reservation_updates_total",
+		`persephone_latency_seconds{type="type0",quantile="0.999"}`,
+		`persephone_slowdown_p999{type="type0"}`,
+		"# TYPE persephone_latency_seconds summary",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestServeMetricsHTTP(t *testing.T) {
+	srv := newEchoServer(t, 2, ModeDARC)
+	for i := 0; i < 20; i++ {
+		srv.Call(typedPayload(0, "x")) //nolint:errcheck
+	}
+	addr, shutdown, err := srv.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown() //nolint:errcheck
+
+	cli := &http.Client{Timeout: 5 * time.Second}
+	resp, err := cli.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "persephone_requests_total") {
+		t.Fatalf("body %q", body)
+	}
+
+	health, err := cli.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health.Body.Close()
+	if health.StatusCode != 200 {
+		t.Fatalf("healthz status %d", health.StatusCode)
+	}
+}
+
+func TestHealthzAfterStop(t *testing.T) {
+	srv := newEchoServer(t, 1, ModeCFCFS)
+	addr, shutdown, err := srv.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown() //nolint:errcheck
+	srv.Stop()
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after stop: %d", resp.StatusCode)
+	}
+}
+
+func TestSanitizeLabel(t *testing.T) {
+	if got := sanitizeLabel(`we"ird la/bel`); got != "we_ird_la_bel" {
+		t.Fatalf("sanitized %q", got)
+	}
+}

@@ -1,0 +1,607 @@
+// Package psp is the live Perséphone runtime: a real, runnable
+// implementation of the paper's §4 architecture on goroutines instead
+// of DPDK threads. A net worker (or in-process submitters) feeds an
+// ingress ring; a single dispatcher goroutine classifies requests with
+// a user-provided classifier, parks them in typed queues, and runs
+// DARC (shared with the simulator via internal/darc) to push work to
+// application workers over single-producer/single-consumer rings;
+// workers execute the application handler, transmit the response
+// themselves, and signal completion back to the dispatcher.
+//
+// Absolute latencies are dominated by the Go runtime (see DESIGN.md);
+// the package demonstrates the mechanism end-to-end, while the paper's
+// quantitative figures are reproduced on the simulator.
+package psp
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/darc"
+	"repro/internal/metrics"
+	"repro/internal/proto"
+	"repro/internal/spsc"
+)
+
+// Mode selects the dispatcher's scheduling policy.
+type Mode int
+
+const (
+	// ModeDARC runs the paper's policy (with its c-FCFS startup
+	// window).
+	ModeDARC Mode = iota
+	// ModeCFCFS runs plain centralized FCFS, the paper's main
+	// non-preemptive baseline.
+	ModeCFCFS
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == ModeCFCFS {
+		return "c-FCFS"
+	}
+	return "DARC"
+}
+
+// Response is the completion of one request as seen by the submitter.
+type Response struct {
+	RequestID uint64
+	Type      int
+	Status    proto.Status
+	Payload   []byte
+	// Sojourn is the server-side time from ingress to completion.
+	Sojourn time.Duration
+}
+
+// Request is the unit flowing through the pipeline.
+type Request struct {
+	id      uint64
+	typ     int
+	payload []byte
+	arrival time.Duration // since server start
+	respond func(Response)
+	buf     *spsc.Buffer // UDP mode: owning network buffer
+}
+
+// Handler executes application logic for a request. Implementations
+// run on worker goroutines concurrently; resp is a scratch buffer the
+// handler may fill with the response payload.
+type Handler interface {
+	Handle(typ int, payload []byte, resp []byte) (n int, status proto.Status)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(typ int, payload []byte, resp []byte) (int, proto.Status)
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(typ int, payload []byte, resp []byte) (int, proto.Status) {
+	return f(typ, payload, resp)
+}
+
+// Config assembles a Server.
+type Config struct {
+	// Workers is the number of application worker goroutines.
+	Workers int
+	// Classifier types incoming payloads (required).
+	Classifier classify.Classifier
+	// Handler executes requests (required).
+	Handler Handler
+	// Mode selects DARC (default) or c-FCFS.
+	Mode Mode
+	// DARC tunes the controller; zero value uses defaults with
+	// MinWindowSamples lowered to 512 (live runs are shorter than the
+	// paper's 50k-sample windows).
+	DARC darc.Config
+	// QueueCap bounds each typed queue (default 4096).
+	QueueCap int
+	// IngressCap bounds the ingress ring (default 8192).
+	IngressCap int
+	// ResponseBuf is the per-worker response scratch size (default 2048).
+	ResponseBuf int
+	// PinThreads locks the dispatcher and each worker goroutine to an
+	// OS thread (the closest Go gets to the paper's per-core pinned
+	// threads). Only useful when the host has at least Workers+2
+	// cores; on oversubscribed machines it hurts.
+	PinThreads bool
+}
+
+// Server is the live runtime instance.
+type Server struct {
+	cfg      Config
+	ctl      *darc.Controller
+	ingress  *spsc.MPSC[*Request]
+	rings    []*spsc.Ring[*Request]
+	compRing *spsc.MPSC[completion]
+
+	queues  []reqFIFO
+	unknown reqFIFO
+	free    []bool // worker idle, dispatcher's view
+
+	start   time.Time
+	nextID  atomic.Uint64
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+
+	mu         sync.Mutex
+	rec        *metrics.Recorder
+	enqueued   uint64
+	dispatched uint64
+	dropped    uint64
+}
+
+type completion struct {
+	worker  int
+	typ     int
+	service time.Duration
+	sojourn time.Duration
+	queue   time.Duration
+}
+
+// NewServer validates the configuration and builds a stopped server.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		return nil, errors.New("psp: config needs Workers > 0")
+	}
+	if cfg.Classifier == nil {
+		return nil, errors.New("psp: config needs a Classifier")
+	}
+	if cfg.Handler == nil {
+		return nil, errors.New("psp: config needs a Handler")
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 4096
+	}
+	if cfg.IngressCap <= 0 {
+		cfg.IngressCap = 8192
+	}
+	if cfg.ResponseBuf <= 0 {
+		cfg.ResponseBuf = 2048
+	}
+	dcfg := cfg.DARC
+	if dcfg.Workers == 0 {
+		dcfg = darc.DefaultConfig(cfg.Workers)
+		dcfg.MinWindowSamples = 512
+	}
+	dcfg.Workers = cfg.Workers
+	if dcfg.Spillway >= cfg.Workers {
+		dcfg.Spillway = 0
+	}
+	numTypes := cfg.Classifier.NumTypes()
+	if numTypes <= 0 {
+		return nil, fmt.Errorf("psp: classifier %q declares %d types", cfg.Classifier.Name(), numTypes)
+	}
+	ctl, err := darc.NewController(dcfg, numTypes)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		ctl:      ctl,
+		ingress:  spsc.NewMPSC[*Request](cfg.IngressCap),
+		compRing: spsc.NewMPSC[completion](cfg.IngressCap),
+		queues:   make([]reqFIFO, numTypes),
+		unknown:  reqFIFO{},
+		free:     make([]bool, cfg.Workers),
+		rec:      metrics.NewRecorder(numTypes, nil),
+	}
+	for i := range s.queues {
+		s.queues[i].cap = cfg.QueueCap
+	}
+	s.unknown.cap = cfg.QueueCap
+	for i := 0; i < cfg.Workers; i++ {
+		s.rings = append(s.rings, spsc.NewRing[*Request](8))
+		s.free[i] = true
+	}
+	return s, nil
+}
+
+// Start launches the dispatcher and worker goroutines.
+func (s *Server) Start() {
+	s.start = time.Now()
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.workerLoop(i)
+	}
+	s.wg.Add(1)
+	go s.dispatcherLoop()
+}
+
+// Stop shuts the pipeline down and waits for goroutines to exit.
+// In-flight requests are completed; queued requests are answered with
+// StatusDropped.
+func (s *Server) Stop() {
+	if s.stopped.Swap(true) {
+		return
+	}
+	s.wg.Wait()
+}
+
+// Controller exposes the DARC controller (reservation snapshots,
+// update counts).
+func (s *Server) Controller() *darc.Controller { return s.ctl }
+
+// now reports the time since server start (the recorder's clock).
+func (s *Server) now() time.Duration { return time.Since(s.start) }
+
+// Submit injects a request in-process and returns a channel carrying
+// its single response. It fails if the server is stopped or the
+// ingress ring is full (open-loop backpressure).
+func (s *Server) Submit(payload []byte) (<-chan Response, error) {
+	if s.stopped.Load() {
+		return nil, errors.New("psp: server stopped")
+	}
+	ch := make(chan Response, 1)
+	r := &Request{
+		id:      s.nextID.Add(1),
+		payload: payload,
+		arrival: s.now(),
+		respond: func(resp Response) { ch <- resp },
+	}
+	if !s.ingress.TryPut(r) {
+		return nil, errors.New("psp: ingress ring full")
+	}
+	return ch, nil
+}
+
+// Call is Submit plus waiting for the response.
+func (s *Server) Call(payload []byte) (Response, error) {
+	ch, err := s.Submit(payload)
+	if err != nil {
+		return Response{}, err
+	}
+	return <-ch, nil
+}
+
+// inject places an externally built request (UDP path) on the ingress
+// ring; it reports false when the ring is full.
+func (s *Server) inject(r *Request) bool {
+	if s.stopped.Load() {
+		return false
+	}
+	r.id = s.nextID.Add(1)
+	r.arrival = s.now()
+	return s.ingress.TryPut(r)
+}
+
+// dispatcherLoop is the single thread of control for classification,
+// typed queues, DARC and worker handoff.
+func (s *Server) dispatcherLoop() {
+	defer s.wg.Done()
+	if s.cfg.PinThreads {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	idleSpins := 0
+	for {
+		progress := false
+		// 1. Completions: free workers and feed the profiler.
+		for {
+			c, ok := s.compRing.TryGet()
+			if !ok {
+				break
+			}
+			progress = true
+			s.free[c.worker] = true
+			s.ctl.Observe(c.typ, c.service)
+			if s.cfg.Mode == ModeDARC {
+				s.ctl.MaybeUpdate()
+			}
+			s.record(c)
+		}
+		// 2. Ingress: classify and enqueue.
+		for {
+			r, ok := s.ingress.TryGet()
+			if !ok {
+				break
+			}
+			progress = true
+			r.typ = s.cfg.Classifier.Classify(r.payload)
+			s.enqueue(r)
+		}
+		// 3. Dispatch.
+		if s.dispatch() {
+			progress = true
+		}
+		if s.stopped.Load() {
+			s.drainAndShutdown()
+			return
+		}
+		if progress {
+			idleSpins = 0
+			continue
+		}
+		idleSpins++
+		switch {
+		case idleSpins < 64:
+		case idleSpins < 4096:
+			runtime.Gosched()
+		default:
+			// A real Perséphone busy-polls a dedicated core; on an
+			// oversubscribed host we park briefly once clearly idle.
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+}
+
+func (s *Server) enqueue(r *Request) {
+	q := &s.unknown
+	if r.typ >= 0 && r.typ < len(s.queues) {
+		q = &s.queues[r.typ]
+	}
+	if !q.push(r) {
+		s.drop(r)
+		return
+	}
+	s.mu.Lock()
+	s.enqueued++
+	s.mu.Unlock()
+}
+
+func (s *Server) drop(r *Request) {
+	s.mu.Lock()
+	s.dropped++
+	s.rec.Drop(r.typ, r.arrival)
+	s.mu.Unlock()
+	if r.respond != nil {
+		r.respond(Response{RequestID: r.id, Type: r.typ, Status: proto.StatusDropped})
+	}
+	if r.buf != nil {
+		r.buf.Release()
+	}
+}
+
+func (s *Server) record(c completion) {
+	s.mu.Lock()
+	s.rec.Complete(c.typ, s.now()-c.sojourn, s.now(), c.service, s.now()-c.sojourn+c.queue, 0)
+	s.mu.Unlock()
+}
+
+// dispatch pushes eligible queued requests to free workers; reports
+// whether anything moved.
+func (s *Server) dispatch() bool {
+	moved := false
+	switch {
+	case s.cfg.Mode == ModeCFCFS, s.ctl.Reservation() == nil:
+		for s.dispatchFCFS() {
+			moved = true
+		}
+	default:
+		for s.dispatchDARC() {
+			moved = true
+		}
+	}
+	return moved
+}
+
+func (s *Server) dispatchFCFS() bool {
+	w := -1
+	for i, f := range s.free {
+		if f {
+			w = i
+			break
+		}
+	}
+	if w < 0 {
+		return false
+	}
+	var q *reqFIFO
+	for i := range s.queues {
+		if head := s.queues[i].peek(); head != nil {
+			if q == nil || head.arrival < q.peek().arrival {
+				q = &s.queues[i]
+			}
+		}
+	}
+	if head := s.unknown.peek(); head != nil && (q == nil || head.arrival < q.peek().arrival) {
+		q = &s.unknown
+	}
+	if q == nil {
+		return false
+	}
+	s.handoff(w, q.pop())
+	return true
+}
+
+func (s *Server) dispatchDARC() bool {
+	res := s.ctl.Reservation()
+	moved := false
+	for _, t := range s.ctl.DispatchOrder() {
+		q := &s.queues[t]
+		if q.empty() {
+			continue
+		}
+		w := s.firstFree(res.ReservedFor(t), res.StealableFor(t))
+		if w < 0 {
+			continue
+		}
+		s.handoff(w, q.pop())
+		moved = true
+	}
+	if !s.unknown.empty() {
+		if w := s.firstFree(res.SpillwayWorkers, nil); w >= 0 {
+			s.handoff(w, s.unknown.pop())
+			moved = true
+		}
+	}
+	return moved
+}
+
+func (s *Server) firstFree(reserved, stealable []int) int {
+	for _, id := range reserved {
+		if s.free[id] {
+			return id
+		}
+	}
+	for _, id := range stealable {
+		if s.free[id] {
+			return id
+		}
+	}
+	return -1
+}
+
+func (s *Server) handoff(w int, r *Request) {
+	s.ctl.NoteQueueDelay(r.typ, s.now()-r.arrival)
+	s.free[w] = false
+	s.mu.Lock()
+	s.dispatched++
+	s.mu.Unlock()
+	s.rings[w].Put(r)
+}
+
+// drainAndShutdown answers queued requests with drops and unblocks
+// workers with sentinels.
+func (s *Server) drainAndShutdown() {
+	for {
+		r, ok := s.ingress.TryGet()
+		if !ok {
+			break
+		}
+		r.typ = classify.Unknown
+		s.drop(r)
+	}
+	for i := range s.queues {
+		for r := s.queues[i].pop(); r != nil; r = s.queues[i].pop() {
+			s.drop(r)
+		}
+	}
+	for r := s.unknown.pop(); r != nil; r = s.unknown.pop() {
+		s.drop(r)
+	}
+	for _, ring := range s.rings {
+		ring.Put(nil) // shutdown sentinel
+	}
+}
+
+// workerLoop executes requests and transmits responses directly (the
+// paper's workers own TX).
+func (s *Server) workerLoop(id int) {
+	defer s.wg.Done()
+	if s.cfg.PinThreads {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	scratch := make([]byte, s.cfg.ResponseBuf)
+	ring := s.rings[id]
+	for {
+		r := ring.Get()
+		if r == nil {
+			return // shutdown sentinel
+		}
+		startDur := s.now()
+		queueDelay := startDur - r.arrival
+		t0 := time.Now()
+		n, status := s.cfg.Handler.Handle(r.typ, r.payload, scratch)
+		service := time.Since(t0)
+		if n < 0 {
+			n = 0
+		}
+		if n > len(scratch) {
+			n = len(scratch)
+		}
+		if r.respond != nil {
+			payload := append([]byte(nil), scratch[:n]...)
+			r.respond(Response{
+				RequestID: r.id,
+				Type:      r.typ,
+				Status:    status,
+				Payload:   payload,
+				Sojourn:   s.now() - r.arrival,
+			})
+		}
+		if r.buf != nil {
+			r.buf.Release()
+		}
+		s.compRing.TryPut(completion{
+			worker:  id,
+			typ:     r.typ,
+			service: service,
+			sojourn: s.now() - r.arrival,
+			queue:   queueDelay,
+		})
+	}
+}
+
+// Stats is a point-in-time snapshot of server metrics.
+type Stats struct {
+	Enqueued   uint64
+	Dispatched uint64
+	Dropped    uint64
+	Updates    uint64
+	Summaries  []metrics.Summary
+}
+
+// StatsSnapshot copies the current counters and per-type summaries.
+func (s *Server) StatsSnapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Enqueued:   s.enqueued,
+		Dispatched: s.dispatched,
+		Dropped:    s.dropped,
+		Updates:    s.ctl.Updates(),
+		Summaries:  s.rec.Summarize(),
+	}
+}
+
+// TypeSlowdown reports the p-quantile slowdown for one type.
+func (s *Server) TypeSlowdown(typ int, q float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return metrics.SlowdownAt(s.rec.Type(typ), q)
+}
+
+// reqFIFO is a bounded queue of requests (dispatcher-local, no
+// locking needed).
+type reqFIFO struct {
+	buf   []*Request
+	head  int
+	count int
+	cap   int
+}
+
+func (q *reqFIFO) empty() bool { return q.count == 0 }
+
+func (q *reqFIFO) push(r *Request) bool {
+	if q.cap > 0 && q.count >= q.cap {
+		return false
+	}
+	if q.count == len(q.buf) {
+		size := len(q.buf) * 2
+		if size == 0 {
+			size = 16
+		}
+		buf := make([]*Request, size)
+		for i := 0; i < q.count; i++ {
+			buf[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf = buf
+		q.head = 0
+	}
+	q.buf[(q.head+q.count)%len(q.buf)] = r
+	q.count++
+	return true
+}
+
+func (q *reqFIFO) pop() *Request {
+	if q.count == 0 {
+		return nil
+	}
+	r := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	return r
+}
+
+func (q *reqFIFO) peek() *Request {
+	if q.count == 0 {
+		return nil
+	}
+	return q.buf[q.head]
+}

@@ -1,0 +1,238 @@
+package psp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/proto"
+)
+
+// TCPServer exposes a Server over TCP — the stateful-dispatcher
+// deployment the paper's §6 sketches. Each message is a 4-byte
+// little-endian length prefix followed by the usual header+payload
+// frame; responses are written back on the originating connection
+// (serialized per connection, since multiple workers may complete
+// requests from one client concurrently).
+type TCPServer struct {
+	Server *Server
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	rx      atomic.Uint64
+	rxDrops atomic.Uint64
+}
+
+// maxTCPFrame bounds a single framed message (header + payload).
+const maxTCPFrame = 1 << 16
+
+// ListenTCP binds addr and starts accepting connections on top of an
+// already-configured (not yet started) Server.
+func ListenTCP(addr string, srv *Server) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("psp: listen tcp %q: %w", addr, err)
+	}
+	t := &TCPServer{Server: srv, ln: ln}
+	srv.Start()
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr reports the bound address.
+func (t *TCPServer) Addr() net.Addr { return t.ln.Addr() }
+
+// Received reports frames accepted into the pipeline.
+func (t *TCPServer) Received() uint64 { return t.rx.Load() }
+
+// RxDrops reports frames rejected at ingress.
+func (t *TCPServer) RxDrops() uint64 { return t.rxDrops.Load() }
+
+// Close stops accepting, closes the listener, and shuts the server
+// down. Established connections terminate as their reads fail.
+func (t *TCPServer) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	err := t.ln.Close()
+	t.wg.Wait()
+	t.Server.Stop()
+	return err
+}
+
+func (t *TCPServer) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.wg.Add(1)
+		go t.serveConn(conn)
+	}
+}
+
+// serveConn is this connection's net worker: it frames requests into
+// the shared dispatcher pipeline.
+func (t *TCPServer) serveConn(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	var writeMu sync.Mutex // serializes worker responses on this conn
+	r := bufio.NewReaderSize(conn, 1<<16)
+	var lenBuf [4]byte
+	for {
+		if t.closed.Load() {
+			return
+		}
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			return
+		}
+		frameLen := binary.LittleEndian.Uint32(lenBuf[:])
+		if frameLen < proto.HeaderSize || frameLen > maxTCPFrame {
+			t.rxDrops.Add(1)
+			return // protocol error: drop the connection
+		}
+		frame := make([]byte, frameLen)
+		if _, err := io.ReadFull(r, frame); err != nil {
+			return
+		}
+		hdr, payload, perr := proto.DecodeHeader(frame)
+		if perr != nil || hdr.Kind != proto.KindRequest {
+			t.rxDrops.Add(1)
+			continue
+		}
+		reqID := hdr.RequestID
+		req := &Request{payload: payload}
+		req.respond = func(resp Response) {
+			msg := proto.AppendMessage(make([]byte, 4, 4+proto.HeaderSize+len(resp.Payload)), proto.Header{
+				Kind:      proto.KindResponse,
+				Status:    resp.Status,
+				TypeID:    uint16(resp.Type & 0xFFFF),
+				RequestID: reqID,
+			}, resp.Payload)
+			binary.LittleEndian.PutUint32(msg[:4], uint32(len(msg)-4))
+			writeMu.Lock()
+			conn.Write(msg) //nolint:errcheck // client may have gone
+			writeMu.Unlock()
+		}
+		if !t.Server.inject(req) {
+			t.rxDrops.Add(1)
+			continue
+		}
+		t.rx.Add(1)
+	}
+}
+
+// TCPClient is a minimal synchronous client for the TCP transport,
+// used by tests and examples. It is safe for concurrent Calls.
+type TCPClient struct {
+	conn net.Conn
+	mu   sync.Mutex // guards writes and the pending map
+	rd   *bufio.Reader
+	rdMu sync.Mutex
+	next atomic.Uint64
+
+	pending map[uint64]chan Response
+}
+
+// DialTCP connects to a TCPServer.
+func DialTCP(addr string) (*TCPClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &TCPClient{
+		conn:    conn,
+		rd:      bufio.NewReaderSize(conn, 1<<16),
+		pending: make(map[uint64]chan Response),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close releases the connection; outstanding Calls fail.
+func (c *TCPClient) Close() error {
+	err := c.conn.Close()
+	c.mu.Lock()
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	return err
+}
+
+// Call sends a request payload and waits for its response.
+func (c *TCPClient) Call(payload []byte) (Response, error) {
+	id := c.next.Add(1)
+	ch := make(chan Response, 1)
+	c.mu.Lock()
+	c.pending[id] = ch
+	msg := proto.AppendMessage(make([]byte, 4, 4+proto.HeaderSize+len(payload)), proto.Header{
+		Kind:      proto.KindRequest,
+		RequestID: id,
+	}, payload)
+	binary.LittleEndian.PutUint32(msg[:4], uint32(len(msg)-4))
+	_, err := c.conn.Write(msg)
+	c.mu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return Response{}, err
+	}
+	resp, ok := <-ch
+	if !ok {
+		return Response{}, fmt.Errorf("psp: connection closed")
+	}
+	return resp, nil
+}
+
+func (c *TCPClient) readLoop() {
+	var lenBuf [4]byte
+	for {
+		c.rdMu.Lock()
+		if _, err := io.ReadFull(c.rd, lenBuf[:]); err != nil {
+			c.rdMu.Unlock()
+			c.Close() //nolint:errcheck
+			return
+		}
+		frameLen := binary.LittleEndian.Uint32(lenBuf[:])
+		if frameLen < proto.HeaderSize || frameLen > maxTCPFrame {
+			c.rdMu.Unlock()
+			c.Close() //nolint:errcheck
+			return
+		}
+		frame := make([]byte, frameLen)
+		if _, err := io.ReadFull(c.rd, frame); err != nil {
+			c.rdMu.Unlock()
+			c.Close() //nolint:errcheck
+			return
+		}
+		c.rdMu.Unlock()
+		hdr, payload, err := proto.DecodeHeader(frame)
+		if err != nil || hdr.Kind != proto.KindResponse {
+			continue
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[hdr.RequestID]
+		if ok {
+			delete(c.pending, hdr.RequestID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- Response{
+				RequestID: hdr.RequestID,
+				Type:      int(int16(hdr.TypeID)),
+				Status:    hdr.Status,
+				Payload:   append([]byte(nil), payload...),
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package psp
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/proto"
+	"repro/internal/spsc"
+)
+
+// UDPServer wraps a Server with the paper's networking model: a net
+// worker goroutine dequeues datagrams from the socket into pooled
+// buffers and pushes requests to the dispatcher; application workers
+// transmit responses directly on the shared socket, reusing the
+// ingress buffer for the egress packet (§4.3.1's zero-copy path).
+type UDPServer struct {
+	Server *Server
+	conn   *net.UDPConn
+	pool   *spsc.Pool
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	rxDrops atomic.Uint64
+	rx      atomic.Uint64
+}
+
+// ListenUDP binds addr (e.g. "127.0.0.1:9940") and starts the net
+// worker on top of an already-configured (but not yet started) Server.
+func ListenUDP(addr string, srv *Server) (*UDPServer, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("psp: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("psp: listen %q: %w", addr, err)
+	}
+	u := &UDPServer{
+		Server: srv,
+		conn:   conn,
+		pool:   spsc.NewPool(4096, 2048),
+	}
+	srv.Start()
+	u.wg.Add(1)
+	go u.netWorker()
+	return u, nil
+}
+
+// Addr reports the bound address.
+func (u *UDPServer) Addr() *net.UDPAddr { return u.conn.LocalAddr().(*net.UDPAddr) }
+
+// RxDrops reports datagrams dropped at ingress (pool exhausted, ring
+// full, or malformed).
+func (u *UDPServer) RxDrops() uint64 { return u.rxDrops.Load() }
+
+// Received reports datagrams accepted into the pipeline.
+func (u *UDPServer) Received() uint64 { return u.rx.Load() }
+
+// Close stops the net worker, the server, and releases the socket.
+func (u *UDPServer) Close() error {
+	if u.closed.Swap(true) {
+		return nil
+	}
+	err := u.conn.Close() // unblocks the net worker
+	u.wg.Wait()
+	u.Server.Stop()
+	return err
+}
+
+// netWorker is the paper's layer-2 forwarder analogue: read, frame,
+// hand to the dispatcher.
+func (u *UDPServer) netWorker() {
+	defer u.wg.Done()
+	for {
+		buf := u.pool.Get()
+		if buf == nil {
+			// Pool exhausted: shed one datagram using a stack scratch.
+			var scratch [2048]byte
+			if _, _, err := u.conn.ReadFromUDP(scratch[:]); err != nil {
+				return
+			}
+			u.rxDrops.Add(1)
+			continue
+		}
+		n, from, err := u.conn.ReadFromUDP(buf.Data)
+		if err != nil {
+			buf.Release()
+			return // socket closed
+		}
+		buf.Len = n
+		hdr, payload, perr := proto.DecodeHeader(buf.Bytes())
+		if perr != nil || hdr.Kind != proto.KindRequest {
+			buf.Release()
+			u.rxDrops.Add(1)
+			continue
+		}
+		req := &Request{payload: payload, buf: buf}
+		reqID := hdr.RequestID
+		addr := from
+		conn := u.conn
+		req.respond = func(resp Response) {
+			// Workers transmit directly; the 16-byte header plus the
+			// response payload go out in one datagram.
+			var out [2048]byte
+			msg := proto.AppendMessage(out[:0], proto.Header{
+				Kind:      proto.KindResponse,
+				Status:    resp.Status,
+				TypeID:    uint16(resp.Type & 0xFFFF),
+				RequestID: reqID,
+			}, resp.Payload)
+			conn.WriteToUDP(msg, addr) //nolint:errcheck // fire-and-forget UDP
+		}
+		if !u.Server.inject(req) {
+			buf.Release()
+			u.rxDrops.Add(1)
+			continue
+		}
+		u.rx.Add(1)
+	}
+}

@@ -1,0 +1,144 @@
+package psp
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/darc"
+	"repro/internal/proto"
+)
+
+func newUDPServer(t *testing.T) *UDPServer {
+	t.Helper()
+	cfg := darc.DefaultConfig(2)
+	cfg.MinWindowSamples = 64
+	srv, err := NewServer(Config{
+		Workers:    2,
+		Classifier: classify.Field{Offset: 0, Types: 2},
+		Handler: HandlerFunc(func(typ int, p, r []byte) (int, proto.Status) {
+			n := copy(r, p)
+			return n, proto.StatusOK
+		}),
+		DARC: cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := ListenUDP("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { u.Close() })
+	return u
+}
+
+func udpClient(t *testing.T, server *net.UDPAddr) *net.UDPConn {
+	t.Helper()
+	conn, err := net.DialUDP("udp", nil, server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	u := newUDPServer(t)
+	conn := udpClient(t, u.Addr())
+
+	payload := typedPayload(1, "ping")
+	msg := proto.AppendMessage(nil, proto.Header{
+		Kind:      proto.KindRequest,
+		RequestID: 42,
+	}, payload)
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 2048)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, body, err := proto.DecodeHeader(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Kind != proto.KindResponse || h.RequestID != 42 || h.Status != proto.StatusOK {
+		t.Fatalf("header %+v", h)
+	}
+	if string(body[2:]) != "ping" {
+		t.Fatalf("body %q", body)
+	}
+	if u.Received() != 1 {
+		t.Fatalf("received %d", u.Received())
+	}
+}
+
+func TestUDPManyRequests(t *testing.T) {
+	u := newUDPServer(t)
+	conn := udpClient(t, u.Addr())
+	const n = 200
+	go func() {
+		for i := 0; i < n; i++ {
+			msg := proto.AppendMessage(nil, proto.Header{
+				Kind:      proto.KindRequest,
+				RequestID: uint64(i),
+			}, typedPayload(i%2, "x"))
+			conn.Write(msg) //nolint:errcheck
+		}
+	}()
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 2048)
+	seen := make(map[uint64]bool)
+	// UDP may drop on loopback under pressure; require most to return.
+	for len(seen) < n*9/10 {
+		sz, err := conn.Read(buf)
+		if err != nil {
+			t.Fatalf("after %d responses: %v", len(seen), err)
+		}
+		h, _, err := proto.DecodeHeader(buf[:sz])
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[h.RequestID] = true
+	}
+}
+
+func TestUDPMalformedDatagramsDropped(t *testing.T) {
+	u := newUDPServer(t)
+	conn := udpClient(t, u.Addr())
+	conn.Write([]byte("garbage"))              //nolint:errcheck
+	conn.Write(make([]byte, proto.HeaderSize)) //nolint:errcheck // zero magic
+	badKind := proto.AppendMessage(nil, proto.Header{Kind: proto.KindResponse}, nil)
+	conn.Write(badKind) //nolint:errcheck
+	// Then a good one to prove the server survived.
+	good := proto.AppendMessage(nil, proto.Header{Kind: proto.KindRequest, RequestID: 7}, typedPayload(0, "ok"))
+	conn.Write(good) //nolint:errcheck
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 2048)
+	sz, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _, _ := proto.DecodeHeader(buf[:sz])
+	if h.RequestID != 7 {
+		t.Fatalf("unexpected response %+v", h)
+	}
+	if u.RxDrops() < 3 {
+		t.Fatalf("rx drops %d, want >= 3", u.RxDrops())
+	}
+}
+
+func TestUDPDoubleCloseSafe(t *testing.T) {
+	u := newUDPServer(t)
+	if err := u.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,138 @@
+// Package queueing provides closed-form queueing-theory results
+// (M/M/1, M/M/c via Erlang C, M/D/c approximations, and the
+// Pollaczek-Khinchine formula for M/G/1) used to cross-validate the
+// discrete-event simulator: a scheduler model whose c-FCFS results
+// disagree with Erlang C is wrong before any paper comparison starts.
+package queueing
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrUnstable is returned when the offered load meets or exceeds
+// capacity (ρ ≥ 1), where steady-state waiting time diverges.
+var ErrUnstable = errors.New("queueing: utilization >= 1, system unstable")
+
+// MM1MeanWait returns the mean waiting time (excluding service) in an
+// M/M/1 queue with arrival rate λ and service rate µ, in the same time
+// unit as 1/λ.
+func MM1MeanWait(lambda, mu float64) (float64, error) {
+	if lambda <= 0 || mu <= 0 {
+		return 0, errors.New("queueing: rates must be positive")
+	}
+	rho := lambda / mu
+	if rho >= 1 {
+		return 0, ErrUnstable
+	}
+	return rho / (mu - lambda), nil
+}
+
+// MM1MeanSojourn returns the mean total time in an M/M/1 system.
+func MM1MeanSojourn(lambda, mu float64) (float64, error) {
+	w, err := MM1MeanWait(lambda, mu)
+	if err != nil {
+		return 0, err
+	}
+	return w + 1/mu, nil
+}
+
+// ErlangC returns the probability that an arriving job waits in an
+// M/M/c queue with offered load a = λ/µ Erlangs and c servers.
+func ErlangC(c int, a float64) (float64, error) {
+	if c <= 0 || a <= 0 {
+		return 0, errors.New("queueing: need c > 0 and a > 0")
+	}
+	rho := a / float64(c)
+	if rho >= 1 {
+		return 0, ErrUnstable
+	}
+	// Compute the Erlang-B recursion then convert to Erlang C; the
+	// recursion is numerically stable for large c.
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	return b / (1 - rho*(1-b)), nil
+}
+
+// MMcMeanWait returns the mean waiting time in an M/M/c queue with
+// arrival rate λ and per-server service rate µ.
+func MMcMeanWait(c int, lambda, mu float64) (float64, error) {
+	if lambda <= 0 || mu <= 0 {
+		return 0, errors.New("queueing: rates must be positive")
+	}
+	a := lambda / mu
+	pw, err := ErlangC(c, a)
+	if err != nil {
+		return 0, err
+	}
+	return pw / (float64(c)*mu - lambda), nil
+}
+
+// MMcWaitQuantile returns the q-quantile of waiting time in an M/M/c
+// queue (the waiting-time distribution is a point mass at 0 with
+// probability 1-P(wait), and exponential with rate cµ-λ beyond it).
+func MMcWaitQuantile(c int, lambda, mu, q float64) (float64, error) {
+	if q < 0 || q >= 1 {
+		return 0, errors.New("queueing: quantile must be in [0,1)")
+	}
+	pw, err := ErlangC(c, lambda/mu)
+	if err != nil {
+		return 0, err
+	}
+	if q <= 1-pw {
+		return 0, nil
+	}
+	// P(W > t) = pw * exp(-(cµ-λ)t); solve for t at tail 1-q.
+	rate := float64(c)*mu - lambda
+	return math.Log(pw/(1-q)) / rate, nil
+}
+
+// MG1MeanWait returns the Pollaczek-Khinchine mean waiting time for an
+// M/G/1 queue with arrival rate λ, mean service es and second moment
+// es2 of the service time.
+func MG1MeanWait(lambda, es, es2 float64) (float64, error) {
+	if lambda <= 0 || es <= 0 || es2 <= 0 {
+		return 0, errors.New("queueing: parameters must be positive")
+	}
+	rho := lambda * es
+	if rho >= 1 {
+		return 0, ErrUnstable
+	}
+	return lambda * es2 / (2 * (1 - rho)), nil
+}
+
+// MD1MeanWait returns the mean waiting time for an M/D/1 queue
+// (deterministic service of duration s): the P-K formula with zero
+// service variance.
+func MD1MeanWait(lambda, s float64) (float64, error) {
+	return MG1MeanWait(lambda, s, s*s)
+}
+
+// MDcMeanWaitApprox approximates the mean waiting time in an M/D/c
+// queue with the standard Cosmetatos-style heuristic: M/M/c wait
+// scaled by the (1+CV²)/2 factor (CV=0 for deterministic service).
+func MDcMeanWaitApprox(c int, lambda float64, s float64) (float64, error) {
+	mu := 1 / s
+	w, err := MMcMeanWait(c, lambda, mu)
+	if err != nil {
+		return 0, err
+	}
+	return w / 2, nil
+}
+
+// BimodalSecondMoment computes E[S²] for a two-point service
+// distribution, the input the P-K formula needs for the paper's
+// bimodal workloads.
+func BimodalSecondMoment(short, long, shortRatio float64) float64 {
+	return shortRatio*short*short + (1-shortRatio)*long*long
+}
+
+// Utilization reports ρ = λ·E[S]/c.
+func Utilization(c int, lambda, meanService float64) float64 {
+	if c <= 0 {
+		return 0
+	}
+	return lambda * meanService / float64(c)
+}

@@ -1,0 +1,170 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol*math.Abs(want)+1e-12 {
+		t.Fatalf("%s: got %g, want %g (tol %g)", what, got, want, tol)
+	}
+}
+
+func TestMM1KnownValues(t *testing.T) {
+	// λ=0.5, µ=1: ρ=0.5, W = ρ/(µ-λ) = 1.
+	w, err := MM1MeanWait(0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, w, 1.0, 1e-9, "M/M/1 wait")
+	s, err := MM1MeanSojourn(0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, s, 2.0, 1e-9, "M/M/1 sojourn")
+}
+
+func TestMM1Unstable(t *testing.T) {
+	if _, err := MM1MeanWait(1, 1); err != ErrUnstable {
+		t.Fatalf("err %v", err)
+	}
+	if _, err := MM1MeanWait(2, 1); err != ErrUnstable {
+		t.Fatalf("err %v", err)
+	}
+	if _, err := MM1MeanWait(-1, 1); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestErlangCKnownValues(t *testing.T) {
+	// Classic reference: c=2, a=1 → C = 1/3.
+	c, err := ErlangC(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, c, 1.0/3, 1e-9, "ErlangC(2,1)")
+	// c=1 reduces to ρ.
+	c1, err := ErlangC(1, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, c1, 0.7, 1e-9, "ErlangC(1,0.7)")
+}
+
+func TestErlangCUnstable(t *testing.T) {
+	if _, err := ErlangC(2, 2); err != ErrUnstable {
+		t.Fatalf("err %v", err)
+	}
+	if _, err := ErlangC(0, 1); err == nil {
+		t.Fatal("c=0 accepted")
+	}
+}
+
+func TestMMcReducesToMM1(t *testing.T) {
+	w1, _ := MM1MeanWait(0.6, 1)
+	wc, err := MMcMeanWait(1, 0.6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, wc, w1, 1e-9, "M/M/c(c=1) vs M/M/1")
+}
+
+func TestMMcWaitQuantile(t *testing.T) {
+	// With c=2, λ=1, µ=1: P(wait)=1/3, so the 50th percentile is 0.
+	q50, err := MMcWaitQuantile(2, 1, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q50 != 0 {
+		t.Fatalf("q50 %g, want 0", q50)
+	}
+	// Deep tail must be positive and increasing.
+	q99, _ := MMcWaitQuantile(2, 1, 1, 0.99)
+	q999, _ := MMcWaitQuantile(2, 1, 1, 0.999)
+	if q99 <= 0 || q999 <= q99 {
+		t.Fatalf("q99=%g q999=%g", q99, q999)
+	}
+	if _, err := MMcWaitQuantile(2, 1, 1, 1); err == nil {
+		t.Fatal("q=1 accepted")
+	}
+}
+
+func TestMG1AgainstMM1(t *testing.T) {
+	// Exponential service: E[S²]=2/µ² makes P-K equal the M/M/1 wait.
+	lambda, mu := 0.5, 1.0
+	pk, err := MG1MeanWait(lambda, 1/mu, 2/(mu*mu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, _ := MM1MeanWait(lambda, mu)
+	almost(t, pk, w1, 1e-9, "P-K vs M/M/1")
+}
+
+func TestMD1HalvesMM1Wait(t *testing.T) {
+	// Deterministic service halves the M/M/1 waiting time.
+	lambda, s := 0.5, 1.0
+	wd, err := MD1MeanWait(lambda, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm, _ := MM1MeanWait(lambda, 1/s)
+	almost(t, wd, wm/2, 1e-9, "M/D/1 vs M/M/1")
+}
+
+func TestBimodalSecondMoment(t *testing.T) {
+	// 99.5% at 0.5, 0.5% at 500 (Extreme Bimodal in µs).
+	got := BimodalSecondMoment(0.5, 500, 0.995)
+	want := 0.995*0.25 + 0.005*250000
+	almost(t, got, want, 1e-12, "bimodal E[S²]")
+}
+
+func TestUtilization(t *testing.T) {
+	almost(t, Utilization(14, 100000, 50.5e-6), 100000*50.5e-6/14, 1e-12, "utilization")
+	if Utilization(0, 1, 1) != 0 {
+		t.Fatal("c=0 utilization")
+	}
+}
+
+func TestMDcApproxHalvesMMc(t *testing.T) {
+	w, err := MDcMeanWaitApprox(4, 300000, 10e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mmc, _ := MMcMeanWait(4, 300000, 1/10e-6)
+	almost(t, w, mmc/2, 1e-9, "M/D/c approx")
+	if _, err := MDcMeanWaitApprox(4, 1e9, 10e-6); err != ErrUnstable {
+		t.Fatalf("unstable M/D/c: %v", err)
+	}
+}
+
+func TestMMcMeanWaitErrors(t *testing.T) {
+	if _, err := MMcMeanWait(2, 0, 1); err == nil {
+		t.Fatal("zero lambda accepted")
+	}
+	if _, err := MMcMeanWait(2, 3, 1); err != ErrUnstable {
+		t.Fatalf("unstable M/M/c: %v", err)
+	}
+}
+
+func TestMG1Errors(t *testing.T) {
+	if _, err := MG1MeanWait(0, 1, 1); err == nil {
+		t.Fatal("zero lambda accepted")
+	}
+	if _, err := MG1MeanWait(2, 1, 1); err != ErrUnstable {
+		t.Fatalf("unstable M/G/1: %v", err)
+	}
+}
+
+func TestMMcWaitQuantileUnstable(t *testing.T) {
+	if _, err := MMcWaitQuantile(1, 2, 1, 0.5); err != ErrUnstable {
+		t.Fatalf("unstable quantile: %v", err)
+	}
+}
+
+func TestMM1SojournError(t *testing.T) {
+	if _, err := MM1MeanSojourn(2, 1); err != ErrUnstable {
+		t.Fatalf("unstable sojourn: %v", err)
+	}
+}

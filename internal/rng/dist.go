@@ -1,0 +1,191 @@
+package rng
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Dist is a distribution over durations, used for service times and
+// inter-arrival gaps. Implementations must be deterministic functions
+// of the supplied generator.
+type Dist interface {
+	// Sample draws one value. Implementations never return a negative
+	// duration.
+	Sample(r *RNG) time.Duration
+	// Mean reports the distribution's expectation.
+	Mean() time.Duration
+	// String describes the distribution for logs and reports.
+	String() string
+}
+
+// Fixed is a degenerate distribution that always returns the same
+// value. The paper's synthetic workloads use fixed per-type service
+// times.
+type Fixed time.Duration
+
+// Sample implements Dist.
+func (f Fixed) Sample(*RNG) time.Duration { return time.Duration(f) }
+
+// Mean implements Dist.
+func (f Fixed) Mean() time.Duration { return time.Duration(f) }
+
+func (f Fixed) String() string { return fmt.Sprintf("fixed(%v)", time.Duration(f)) }
+
+// Exponential is an exponential distribution with the given mean.
+type Exponential time.Duration
+
+// Sample implements Dist.
+func (e Exponential) Sample(r *RNG) time.Duration {
+	return time.Duration(r.Exp(float64(e)))
+}
+
+// Mean implements Dist.
+func (e Exponential) Mean() time.Duration { return time.Duration(e) }
+
+func (e Exponential) String() string {
+	return fmt.Sprintf("exp(%v)", time.Duration(e))
+}
+
+// Uniform is a uniform distribution over [Lo, Hi].
+type Uniform struct {
+	Lo, Hi time.Duration
+}
+
+// Sample implements Dist.
+func (u Uniform) Sample(r *RNG) time.Duration {
+	if u.Hi <= u.Lo {
+		return u.Lo
+	}
+	return u.Lo + time.Duration(r.Uint64n(uint64(u.Hi-u.Lo)+1))
+}
+
+// Mean implements Dist.
+func (u Uniform) Mean() time.Duration { return (u.Lo + u.Hi) / 2 }
+
+func (u Uniform) String() string {
+	return fmt.Sprintf("uniform(%v,%v)", u.Lo, u.Hi)
+}
+
+// BoundedPareto is a Pareto distribution with minimum Min and shape
+// Alpha, truncated at Max (resampled on overflow). It models
+// heavy-tailed service times with a controllable tail.
+type BoundedPareto struct {
+	Min   time.Duration
+	Max   time.Duration
+	Alpha float64
+}
+
+// Sample implements Dist.
+func (p BoundedPareto) Sample(r *RNG) time.Duration {
+	for i := 0; i < 64; i++ {
+		v := time.Duration(r.Pareto(float64(p.Min), p.Alpha))
+		if p.Max == 0 || v <= p.Max {
+			return v
+		}
+	}
+	return p.Max
+}
+
+// Mean implements Dist. For alpha <= 1 the unbounded mean diverges; we
+// report the truncated mean numerically in that case.
+func (p BoundedPareto) Mean() time.Duration {
+	a := p.Alpha
+	xm := float64(p.Min)
+	if p.Max == 0 {
+		if a <= 1 {
+			return time.Duration(1<<62 - 1)
+		}
+		return time.Duration(a * xm / (a - 1))
+	}
+	h := float64(p.Max)
+	if a == 1 {
+		// E[X] for bounded Pareto with alpha=1.
+		return time.Duration(xm * h / (h - xm) * (math.Log(h) - math.Log(xm)))
+	}
+	num := math.Pow(xm, a) / (1 - math.Pow(xm/h, a)) * a / (a - 1) *
+		(1/math.Pow(xm, a-1) - 1/math.Pow(h, a-1))
+	return time.Duration(num)
+}
+
+func (p BoundedPareto) String() string {
+	return fmt.Sprintf("pareto(min=%v,max=%v,alpha=%.2f)", p.Min, p.Max, p.Alpha)
+}
+
+// Bimodal mixes two fixed durations: Short with probability ShortRatio,
+// Long otherwise.
+type Bimodal struct {
+	Short      time.Duration
+	Long       time.Duration
+	ShortRatio float64
+}
+
+// Sample implements Dist.
+func (b Bimodal) Sample(r *RNG) time.Duration {
+	if r.Float64() < b.ShortRatio {
+		return b.Short
+	}
+	return b.Long
+}
+
+// Mean implements Dist.
+func (b Bimodal) Mean() time.Duration {
+	return time.Duration(b.ShortRatio*float64(b.Short) + (1-b.ShortRatio)*float64(b.Long))
+}
+
+func (b Bimodal) String() string {
+	return fmt.Sprintf("bimodal(%v@%.3f,%v@%.3f)", b.Short, b.ShortRatio, b.Long, 1-b.ShortRatio)
+}
+
+// Discrete is a general n-point distribution: value Values[i] is drawn
+// with weight Weights[i] (weights need not sum to 1).
+type Discrete struct {
+	Values  []time.Duration
+	Weights []float64
+	cum     []float64 // lazily built cumulative weights
+	total   float64
+}
+
+// NewDiscrete builds a discrete distribution, validating its shape.
+func NewDiscrete(values []time.Duration, weights []float64) (*Discrete, error) {
+	if len(values) == 0 || len(values) != len(weights) {
+		return nil, fmt.Errorf("rng: discrete distribution needs matching non-empty values/weights, got %d/%d", len(values), len(weights))
+	}
+	d := &Discrete{Values: values, Weights: weights}
+	d.cum = make([]float64, len(weights))
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("rng: negative weight %f at index %d", w, i)
+		}
+		d.total += w
+		d.cum[i] = d.total
+	}
+	if d.total <= 0 {
+		return nil, fmt.Errorf("rng: discrete distribution has zero total weight")
+	}
+	return d, nil
+}
+
+// Sample implements Dist.
+func (d *Discrete) Sample(r *RNG) time.Duration {
+	u := r.Float64() * d.total
+	i := sort.SearchFloat64s(d.cum, u)
+	if i >= len(d.Values) {
+		i = len(d.Values) - 1
+	}
+	return d.Values[i]
+}
+
+// Mean implements Dist.
+func (d *Discrete) Mean() time.Duration {
+	var m float64
+	for i, v := range d.Values {
+		m += float64(v) * d.Weights[i] / d.total
+	}
+	return time.Duration(m)
+}
+
+func (d *Discrete) String() string {
+	return fmt.Sprintf("discrete(%d points)", len(d.Values))
+}

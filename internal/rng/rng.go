@@ -1,0 +1,153 @@
+// Package rng provides a deterministic, splittable pseudo-random number
+// generator and the sampling distributions used by the workload
+// generators and simulator.
+//
+// The generator is PCG-XSH-RR 64/32 pairs combined into 64-bit outputs.
+// It is deliberately not the standard library generator so that
+// experiment results are reproducible across Go releases: the stream
+// for a given seed is frozen by this package's tests.
+package rng
+
+import "math"
+
+// mul is the PCG default multiplier for 64-bit state.
+const mul = 6364136223846793005
+
+// RNG is a deterministic pseudo-random number generator. It is not safe
+// for concurrent use; use Split to derive independent streams for
+// concurrent components.
+type RNG struct {
+	state uint64
+	inc   uint64 // stream selector; must be odd
+}
+
+// New returns a generator seeded with seed on the default stream.
+func New(seed uint64) *RNG {
+	return NewStream(seed, 0xda3e39cb94b95bdb)
+}
+
+// NewStream returns a generator with an explicit stream selector, so
+// that two generators with the same seed but different streams produce
+// independent sequences.
+func NewStream(seed, stream uint64) *RNG {
+	r := &RNG{inc: stream<<1 | 1}
+	r.state = r.inc + seed
+	r.Uint64()
+	return r
+}
+
+// Split derives a new, statistically independent generator from r,
+// advancing r in the process. Derived generators are deterministic
+// functions of r's state at the time of the call.
+func (r *RNG) Split() *RNG {
+	return NewStream(r.Uint64(), r.Uint64())
+}
+
+// next32 advances the underlying PCG state and returns 32 bits.
+func (r *RNG) next32() uint32 {
+	old := r.state
+	r.state = old*mul + r.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return xorshifted>>rot | xorshifted<<((-rot)&31)
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	hi := uint64(r.next32())
+	lo := uint64(r.next32())
+	return hi<<32 | lo
+}
+
+// Uint32 returns a uniformly distributed 32-bit value.
+func (r *RNG) Uint32() uint32 { return r.next32() }
+
+// Float64 returns a uniformly distributed value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniformly distributed value in [0, n). It panics if
+// n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Int63 returns a non-negative 63-bit value.
+func (r *RNG) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Uint64n returns a uniformly distributed value in [0, n) using
+// Lemire's nearly-divisionless method. It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	// Rejection sampling over the top of the range keeps the result
+	// exactly uniform.
+	threshold := -n % n
+	for {
+		v := r.Uint64()
+		if v >= threshold {
+			return v % n
+		}
+	}
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+// The mean must be positive.
+func (r *RNG) Exp(mean float64) float64 {
+	if mean <= 0 {
+		panic("rng: Exp with non-positive mean")
+	}
+	// Avoid log(0): Float64 is in [0,1), so 1-u is in (0,1].
+	return -mean * math.Log(1-r.Float64())
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation (Box-Muller).
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	u1 := 1 - r.Float64() // (0,1]
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// LogNormal returns a log-normally distributed value parameterised by
+// the mu and sigma of the underlying normal.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Pareto returns a bounded Pareto-distributed value with shape alpha
+// and minimum xm. Heavy-tailed service time experiments use this.
+func (r *RNG) Pareto(xm, alpha float64) float64 {
+	if xm <= 0 || alpha <= 0 {
+		panic("rng: Pareto with non-positive parameter")
+	}
+	u := 1 - r.Float64() // (0,1]
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Shuffle pseudo-randomly permutes the first n elements using the
+// provided swap function (Fisher-Yates).
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}

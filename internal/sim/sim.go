@@ -1,0 +1,96 @@
+// Package sim is a single-threaded discrete-event simulation engine
+// with a nanosecond-resolution virtual clock. Components schedule
+// callbacks at virtual instants; the engine fires them in (time,
+// schedule-order) order, so runs are fully deterministic.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/eventq"
+)
+
+// Time is a virtual instant, expressed as the duration since the start
+// of the simulation.
+type Time = time.Duration
+
+// Sim is a discrete-event simulator. The zero value is ready to use.
+type Sim struct {
+	now    Time
+	events eventq.Queue
+	fired  uint64
+	halted bool
+}
+
+// New returns an empty simulator at virtual time zero.
+func New() *Sim { return &Sim{} }
+
+// Now reports the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Fired reports how many events have executed, a cheap progress and
+// cost measure for experiments.
+func (s *Sim) Fired() uint64 { return s.fired }
+
+// At schedules fn to run at virtual time t. Scheduling in the past
+// (before Now) panics: it always indicates a modelling bug.
+func (s *Sim) At(t Time, fn func()) *eventq.Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	return s.events.Push(t, fn)
+}
+
+// After schedules fn to run d from now.
+func (s *Sim) After(d time.Duration, fn func()) *eventq.Event {
+	return s.At(s.now+d, fn)
+}
+
+// Cancel removes a pending event; see eventq.Queue.Cancel.
+func (s *Sim) Cancel(e *eventq.Event) bool { return s.events.Cancel(e) }
+
+// Step fires the next event and reports whether one existed.
+func (s *Sim) Step() bool {
+	e := s.events.Pop()
+	if e == nil {
+		return false
+	}
+	s.now = e.At
+	s.fired++
+	e.Fn()
+	return true
+}
+
+// RunUntil fires events until the queue is empty or the next event is
+// strictly after the horizon; the clock is then advanced to the
+// horizon. Components may keep scheduling (for example, an open-loop
+// arrival process schedules its successor from within its own event),
+// so the horizon is the only termination condition for steady-state
+// experiments.
+func (s *Sim) RunUntil(horizon Time) {
+	s.halted = false
+	for !s.halted {
+		e := s.events.Peek()
+		if e == nil || e.At > horizon {
+			break
+		}
+		s.Step()
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+}
+
+// Run fires events until none remain or Halt is called.
+func (s *Sim) Run() {
+	s.halted = false
+	for !s.halted && s.Step() {
+	}
+}
+
+// Halt stops Run/RunUntil after the currently executing event returns.
+func (s *Sim) Halt() { s.halted = true }
+
+// Pending reports the number of scheduled events.
+func (s *Sim) Pending() int { return s.events.Len() }

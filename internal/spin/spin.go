@@ -1,0 +1,77 @@
+// Package spin provides calibrated busy-work for the live runtime's
+// synthetic workloads: a request "executes" by occupying its worker
+// core for a requested duration, like the paper's synthetic spin
+// loops. Durations below a few hundred nanoseconds are dominated by
+// timer overhead on a shared VM; the calibration loop keeps the error
+// proportional rather than absolute.
+package spin
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// itersPerMicro is the calibrated number of work-loop iterations per
+// microsecond, set by Calibrate (or lazily on first use).
+var itersPerMicro atomic.Int64
+
+// sink defeats dead-code elimination of the work loop.
+var sink atomic.Uint64
+
+// work runs n iterations of the calibration kernel.
+func work(n int64) {
+	var acc uint64 = 88172645463325252
+	for i := int64(0); i < n; i++ {
+		// xorshift keeps the loop's latency data-independent.
+		acc ^= acc << 13
+		acc ^= acc >> 7
+		acc ^= acc << 17
+	}
+	sink.Store(acc)
+}
+
+// Calibrate measures the work loop's speed. It runs for roughly the
+// given duration (longer is more accurate) and stores the result
+// process-wide. Returns iterations per microsecond.
+func Calibrate(budget time.Duration) int64 {
+	if budget <= 0 {
+		budget = 10 * time.Millisecond
+	}
+	const probe = 1 << 16
+	start := time.Now()
+	var iters int64
+	for time.Since(start) < budget {
+		work(probe)
+		iters += probe
+	}
+	elapsed := time.Since(start)
+	perMicro := int64(float64(iters) / float64(elapsed.Microseconds()+1))
+	if perMicro < 1 {
+		perMicro = 1
+	}
+	itersPerMicro.Store(perMicro)
+	return perMicro
+}
+
+// For occupies the calling goroutine's core for approximately d.
+func For(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	per := itersPerMicro.Load()
+	if per == 0 {
+		per = Calibrate(5 * time.Millisecond)
+	}
+	n := per * d.Microseconds()
+	if rem := d % time.Microsecond; rem > 0 {
+		n += per * int64(rem) / 1000
+	}
+	if n < 1 {
+		n = 1
+	}
+	work(n)
+}
+
+// IterationsPerMicro reports the current calibration (0 if never
+// calibrated).
+func IterationsPerMicro() int64 { return itersPerMicro.Load() }

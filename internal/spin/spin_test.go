@@ -1,0 +1,57 @@
+package spin
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCalibrateSetsRate(t *testing.T) {
+	per := Calibrate(20 * time.Millisecond)
+	if per < 1 {
+		t.Fatalf("calibrated %d iters/µs", per)
+	}
+	if IterationsPerMicro() != per {
+		t.Fatal("calibration not stored")
+	}
+}
+
+func TestForApproximatesDuration(t *testing.T) {
+	Calibrate(50 * time.Millisecond)
+	// Measure a 2ms spin: long enough to dominate timer noise on a
+	// shared CI machine.
+	want := 2 * time.Millisecond
+	best := time.Hour
+	for trial := 0; trial < 5; trial++ {
+		start := time.Now()
+		For(want)
+		if got := time.Since(start); got < best {
+			best = got
+		}
+	}
+	// Generous bounds: shared CI machines and coverage instrumentation
+	// skew the calibration-to-measurement ratio.
+	if best < want/4 || best > want*6 {
+		t.Fatalf("spun for %v, want ~%v", best, want)
+	}
+}
+
+func TestForZeroReturnsImmediately(t *testing.T) {
+	start := time.Now()
+	For(0)
+	For(-time.Second)
+	if time.Since(start) > 10*time.Millisecond {
+		t.Fatal("zero spin took too long")
+	}
+}
+
+func TestForSubMicrosecond(t *testing.T) {
+	Calibrate(20 * time.Millisecond)
+	// Must terminate quickly and not underflow to a huge loop count.
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		For(500 * time.Nanosecond)
+	}
+	if time.Since(start) > 200*time.Millisecond {
+		t.Fatal("sub-microsecond spins far too slow")
+	}
+}

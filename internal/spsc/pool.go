@@ -1,0 +1,85 @@
+package spsc
+
+import "sync/atomic"
+
+// Buffer is a reusable network buffer from a Pool. The live runtime
+// passes pointers to these through the pipeline and reuses the ingress
+// buffer for the egress packet (the paper's zero-copy path).
+type Buffer struct {
+	Data []byte // full capacity backing slice
+	Len  int    // valid bytes
+	pool *Pool
+}
+
+// Bytes returns the valid portion of the buffer.
+func (b *Buffer) Bytes() []byte { return b.Data[:b.Len] }
+
+// Release returns the buffer to its pool. Safe to call from any
+// goroutine (the free list is multi-producer). Double release is a
+// programming error detected by the pool's accounting in tests.
+func (b *Buffer) Release() {
+	if b.pool != nil {
+		b.pool.put(b)
+	}
+}
+
+// Pool is a statically allocated network buffer pool backed by an
+// MPSC free list: workers on any core release buffers, the net worker
+// (single consumer) allocates them — mirroring the paper's registered
+// memory pool with a multi-producer, single-consumer ring (§4.3.1).
+type Pool struct {
+	free    *MPSC[*Buffer]
+	bufSize int
+	// outstanding tracks checked-out buffers for leak diagnostics.
+	outstanding atomic.Int64
+}
+
+// NewPool allocates count buffers of bufSize bytes each.
+func NewPool(count, bufSize int) *Pool {
+	if count < 1 {
+		count = 1
+	}
+	if bufSize < 1 {
+		bufSize = 1
+	}
+	p := &Pool{free: NewMPSC[*Buffer](count), bufSize: bufSize}
+	// One contiguous arena, sliced per buffer, mimicking the statically
+	// registered NIC memory region.
+	arena := make([]byte, count*bufSize)
+	for i := 0; i < count; i++ {
+		b := &Buffer{Data: arena[i*bufSize : (i+1)*bufSize], pool: p}
+		p.free.TryPut(b)
+	}
+	return p
+}
+
+// Get allocates a buffer, or nil if the pool is exhausted (the caller
+// applies backpressure — the paper drops packets in that case).
+// Single consumer (the net worker / ingress path).
+func (p *Pool) Get() *Buffer {
+	b, ok := p.free.TryGet()
+	if !ok {
+		return nil
+	}
+	b.Len = 0
+	p.outstanding.Add(1)
+	return b
+}
+
+func (p *Pool) put(b *Buffer) {
+	p.outstanding.Add(-1)
+	// The free list has exactly `count` slots, so a returned pool
+	// buffer always fits; TryPut can only fail on double release.
+	if !p.free.TryPut(b) {
+		panic("spsc: buffer pool overflow (double release?)")
+	}
+}
+
+// BufSize reports the per-buffer capacity.
+func (p *Pool) BufSize() int { return p.bufSize }
+
+// Outstanding reports buffers currently checked out.
+func (p *Pool) Outstanding() int64 { return p.outstanding.Load() }
+
+// Available reports buffers currently in the free list.
+func (p *Pool) Available() int { return p.free.Len() }

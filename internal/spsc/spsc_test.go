@@ -1,0 +1,282 @@
+package spsc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingFIFOSingleThread(t *testing.T) {
+	r := NewRing[int](8)
+	for i := 0; i < 8; i++ {
+		if !r.TryPut(i) {
+			t.Fatalf("put %d failed below capacity", i)
+		}
+	}
+	if r.TryPut(99) {
+		t.Fatal("put succeeded on full ring")
+	}
+	for i := 0; i < 8; i++ {
+		v, ok := r.TryGet()
+		if !ok || v != i {
+			t.Fatalf("get %d: %v %v", i, v, ok)
+		}
+	}
+	if _, ok := r.TryGet(); ok {
+		t.Fatal("get succeeded on empty ring")
+	}
+}
+
+func TestRingCapacityRounding(t *testing.T) {
+	if got := NewRing[int](5).Cap(); got != 8 {
+		t.Fatalf("cap %d, want 8", got)
+	}
+	if got := NewRing[int](0).Cap(); got != 2 {
+		t.Fatalf("cap %d, want 2", got)
+	}
+	if got := NewRing[int](16).Cap(); got != 16 {
+		t.Fatalf("cap %d, want 16", got)
+	}
+}
+
+func TestRingLen(t *testing.T) {
+	r := NewRing[int](4)
+	if !r.Empty() {
+		t.Fatal("new ring not empty")
+	}
+	r.TryPut(1)
+	r.TryPut(2)
+	if r.Len() != 2 {
+		t.Fatalf("len %d", r.Len())
+	}
+	r.TryGet()
+	if r.Len() != 1 {
+		t.Fatalf("len %d", r.Len())
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	r := NewRing[int](4)
+	next, expect := 0, 0
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 3; i++ {
+			if r.TryPut(next) {
+				next++
+			}
+		}
+		for i := 0; i < 2; i++ {
+			if v, ok := r.TryGet(); ok {
+				if v != expect {
+					t.Fatalf("got %d, want %d", v, expect)
+				}
+				expect++
+			}
+		}
+	}
+}
+
+// TestRingConcurrent streams a million integers across goroutines and
+// checks exact order and completeness.
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing[int](1024)
+	const n = 1 << 20
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < n; i++ {
+			if v := r.Get(); v != i {
+				done <- fmt.Errorf("got %d, want %d", v, i)
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < n; i++ {
+		r.Put(i)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingPointers(t *testing.T) {
+	type payload struct{ v int }
+	r := NewRing[*payload](8)
+	p := &payload{v: 42}
+	r.Put(p)
+	got := r.Get()
+	if got != p {
+		t.Fatal("pointer identity lost")
+	}
+}
+
+func TestMPSCSingleThread(t *testing.T) {
+	q := NewMPSC[int](4)
+	for i := 0; i < 4; i++ {
+		if !q.TryPut(i) {
+			t.Fatalf("put %d failed", i)
+		}
+	}
+	if q.TryPut(9) {
+		t.Fatal("put on full MPSC succeeded")
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := q.TryGet()
+		if !ok || v != i {
+			t.Fatalf("get %d: %v %v", i, v, ok)
+		}
+	}
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("get on empty succeeded")
+	}
+}
+
+// TestMPSCConcurrentProducers has many producers and one consumer;
+// every value must arrive exactly once.
+func TestMPSCConcurrentProducers(t *testing.T) {
+	const producers = 8
+	const perProducer = 20000
+	q := NewMPSC[int](256)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				v := p*perProducer + i
+				for !q.TryPut(v) {
+				}
+			}
+		}(p)
+	}
+	seen := make([]bool, producers*perProducer)
+	got := 0
+	done := make(chan struct{})
+	go func() {
+		for got < producers*perProducer {
+			if v, ok := q.TryGet(); ok {
+				if seen[v] {
+					t.Errorf("duplicate %d", v)
+					break
+				}
+				seen[v] = true
+				got++
+			}
+		}
+		close(done)
+	}()
+	wg.Wait()
+	<-done
+	if got != producers*perProducer {
+		t.Fatalf("received %d of %d", got, producers*perProducer)
+	}
+}
+
+func TestPoolLifecycle(t *testing.T) {
+	p := NewPool(4, 64)
+	if p.Available() != 4 || p.BufSize() != 64 {
+		t.Fatalf("pool init: avail %d bufsize %d", p.Available(), p.BufSize())
+	}
+	bufs := make([]*Buffer, 0, 4)
+	for i := 0; i < 4; i++ {
+		b := p.Get()
+		if b == nil {
+			t.Fatalf("get %d returned nil with buffers available", i)
+		}
+		if len(b.Data) != 64 {
+			t.Fatalf("buffer size %d", len(b.Data))
+		}
+		bufs = append(bufs, b)
+	}
+	if p.Get() != nil {
+		t.Fatal("exhausted pool returned a buffer")
+	}
+	if p.Outstanding() != 4 {
+		t.Fatalf("outstanding %d", p.Outstanding())
+	}
+	for _, b := range bufs {
+		b.Release()
+	}
+	if p.Outstanding() != 0 || p.Available() != 4 {
+		t.Fatalf("after release: outstanding %d avail %d", p.Outstanding(), p.Available())
+	}
+	// Buffers are reusable.
+	if p.Get() == nil {
+		t.Fatal("pool unusable after a full cycle")
+	}
+}
+
+func TestPoolBufferBytes(t *testing.T) {
+	p := NewPool(1, 32)
+	b := p.Get()
+	copy(b.Data, "hello")
+	b.Len = 5
+	if string(b.Bytes()) != "hello" {
+		t.Fatalf("bytes %q", b.Bytes())
+	}
+}
+
+func TestPoolConcurrentRelease(t *testing.T) {
+	p := NewPool(64, 16)
+	var wg sync.WaitGroup
+	for round := 0; round < 50; round++ {
+		var bufs []*Buffer
+		for {
+			b := p.Get()
+			if b == nil {
+				break
+			}
+			bufs = append(bufs, b)
+		}
+		for _, b := range bufs {
+			wg.Add(1)
+			go func(b *Buffer) {
+				defer wg.Done()
+				b.Release()
+			}(b)
+		}
+		wg.Wait()
+	}
+	if p.Outstanding() != 0 || p.Available() != 64 {
+		t.Fatalf("outstanding %d avail %d", p.Outstanding(), p.Available())
+	}
+}
+
+// TestRingPropertyFIFO checks arbitrary put/get interleavings against
+// a slice model (single-threaded).
+func TestRingPropertyFIFO(t *testing.T) {
+	check := func(ops []bool) bool {
+		r := NewRing[int](8)
+		var model []int
+		next := 0
+		for _, put := range ops {
+			if put {
+				ok := r.TryPut(next)
+				modelOK := len(model) < r.Cap()
+				if ok != modelOK {
+					return false
+				}
+				if ok {
+					model = append(model, next)
+				}
+				next++
+			} else {
+				v, ok := r.TryGet()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

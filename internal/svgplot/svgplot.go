@@ -1,0 +1,220 @@
+// Package svgplot renders simple multi-series line charts as
+// self-contained SVG, using only the standard library — enough to turn
+// the experiment CSVs into figure-shaped plots (slowdown vs load on a
+// log axis, like the paper's figures) without external dependencies.
+package svgplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart is a renderable line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogY plots Y on a log10 axis (non-positive values are clamped to
+	// the smallest positive value present).
+	LogY bool
+	// Width/Height in pixels (defaults 720x440).
+	Width, Height int
+	Series        []Series
+}
+
+// palette holds distinguishable line colors.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
+	"#8c564b", "#17becf", "#7f7f7f",
+}
+
+const (
+	marginLeft   = 70
+	marginRight  = 20
+	marginTop    = 40
+	marginBottom = 55
+)
+
+// Render writes the SVG document.
+func (c *Chart) Render(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("svgplot: no series")
+	}
+	if c.Width <= 0 {
+		c.Width = 720
+	}
+	if c.Height <= 0 {
+		c.Height = 440
+	}
+	xmin, xmax, ymin, ymax, err := c.bounds()
+	if err != nil {
+		return err
+	}
+	plotW := float64(c.Width - marginLeft - marginRight)
+	plotH := float64(c.Height - marginTop - marginBottom)
+
+	xof := func(x float64) float64 {
+		if xmax == xmin {
+			return float64(marginLeft) + plotW/2
+		}
+		return float64(marginLeft) + (x-xmin)/(xmax-xmin)*plotW
+	}
+	yval := func(y float64) float64 {
+		if c.LogY {
+			return math.Log10(y)
+		}
+		return y
+	}
+	lo, hi := yval(ymin), yval(ymax)
+	yof := func(y float64) float64 {
+		if hi == lo {
+			return float64(marginTop) + plotH/2
+		}
+		return float64(marginTop) + plotH - (yval(y)-lo)/(hi-lo)*plotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", c.Width, c.Height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", c.Width, c.Height)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="16" font-weight="bold">%s</text>`+"\n", marginLeft, escape(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginLeft, c.Height-marginBottom, c.Width-marginRight, c.Height-marginBottom)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, c.Height-marginBottom)
+
+	// X ticks (5 linear).
+	for i := 0; i <= 4; i++ {
+		x := xmin + (xmax-xmin)*float64(i)/4
+		px := xof(x)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n",
+			px, c.Height-marginBottom, px, c.Height-marginBottom+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			px, c.Height-marginBottom+18, formatTick(x))
+	}
+	// Y ticks: decades when log, 5 linear otherwise.
+	if c.LogY {
+		for d := math.Floor(math.Log10(ymin)); d <= math.Ceil(math.Log10(ymax)); d++ {
+			y := math.Pow(10, d)
+			if y < ymin || y > ymax {
+				continue
+			}
+			py := yof(y)
+			fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+				marginLeft, py, c.Width-marginRight, py)
+			fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%s</text>`+"\n",
+				marginLeft-6, py+4, formatTick(y))
+		}
+	} else {
+		for i := 0; i <= 4; i++ {
+			y := ymin + (ymax-ymin)*float64(i)/4
+			py := yof(y)
+			fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+				marginLeft, py, c.Width-marginRight, py)
+			fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%s</text>`+"\n",
+				marginLeft-6, py+4, formatTick(y))
+		}
+	}
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		float64(marginLeft)+plotW/2, c.Height-12, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%.1f" font-size="12" text-anchor="middle" transform="rotate(-90 16 %.1f)">%s</text>`+"\n",
+		float64(marginTop)+plotH/2, float64(marginTop)+plotH/2, escape(c.YLabel))
+
+	// Series polylines + legend.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			y := s.Y[i]
+			if c.LogY && y <= 0 {
+				y = ymin
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xof(s.X[i]), yof(y)))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for i := range s.X {
+			y := s.Y[i]
+			if c.LogY && y <= 0 {
+				y = ymin
+			}
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s"/>`+"\n", xof(s.X[i]), yof(y), color)
+		}
+		lx := c.Width - marginRight - 180
+		ly := marginTop + 8 + si*18
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="3"/>`+"\n",
+			lx, ly, lx+22, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12">%s</text>`+"\n", lx+28, ly+4, escape(s.Name))
+	}
+	fmt.Fprintln(&b, `</svg>`)
+	_, err = io.WriteString(w, b.String())
+	return err
+}
+
+// bounds computes data extents, validating series shapes.
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64, err error) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	points := 0
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return 0, 0, 0, 0, fmt.Errorf("svgplot: series %q has %d x for %d y", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			points++
+			if s.X[i] < xmin {
+				xmin = s.X[i]
+			}
+			if s.X[i] > xmax {
+				xmax = s.X[i]
+			}
+			y := s.Y[i]
+			if c.LogY && y <= 0 {
+				continue
+			}
+			if y < ymin {
+				ymin = y
+			}
+			if y > ymax {
+				ymax = y
+			}
+		}
+	}
+	if points == 0 || math.IsInf(ymin, 1) {
+		return 0, 0, 0, 0, fmt.Errorf("svgplot: no plottable points")
+	}
+	if c.LogY && ymin <= 0 {
+		ymin = 1e-9
+	}
+	return xmin, xmax, ymin, ymax, nil
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	case av >= 1 || av == 0:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,93 @@
+package svgplot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func twoSeries() []Series {
+	return []Series{
+		{Name: "DARC", X: []float64{0.1, 0.5, 0.9}, Y: []float64{1, 2, 7}},
+		{Name: "c-FCFS", X: []float64{0.1, 0.5, 0.9}, Y: []float64{1, 75, 1360}},
+	}
+}
+
+func TestRenderLinear(t *testing.T) {
+	c := &Chart{Title: "test", XLabel: "load", YLabel: "slowdown", Series: twoSeries()}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "polyline", "DARC", "c-FCFS", "slowdown"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Fatalf("polyline count %d", strings.Count(out, "<polyline"))
+	}
+}
+
+func TestRenderLogY(t *testing.T) {
+	c := &Chart{Title: "log", LogY: true, Series: twoSeries()}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Decade gridlines for 1, 10, 100, 1000.
+	if got := strings.Count(buf.String(), `stroke="#ddd"`); got < 4 {
+		t.Fatalf("only %d gridlines on a 3-decade log axis", got)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if err := (&Chart{}).Render(&bytes.Buffer{}); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+	bad := &Chart{Series: []Series{{Name: "x", X: []float64{1}, Y: []float64{1, 2}}}}
+	if err := bad.Render(&bytes.Buffer{}); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+	empty := &Chart{Series: []Series{{Name: "x"}}}
+	if err := empty.Render(&bytes.Buffer{}); err == nil {
+		t.Fatal("pointless chart accepted")
+	}
+}
+
+func TestLogClampsNonPositive(t *testing.T) {
+	c := &Chart{LogY: true, Series: []Series{
+		{Name: "s", X: []float64{0, 1, 2}, Y: []float64{0, 10, 100}},
+	}}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEscape(t *testing.T) {
+	c := &Chart{Title: `a<b>&"c"`, Series: twoSeries()}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `a<b>`) {
+		t.Fatal("title not escaped")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		0.5:     "0.5",
+		42:      "42",
+		1500:    "1.5k",
+		2500000: "2.5M",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%g) = %q, want %q", v, got, want)
+		}
+	}
+}

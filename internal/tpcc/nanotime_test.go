@@ -1,0 +1,9 @@
+package tpcc
+
+import "time"
+
+// nanotime is a monotonic clock helper for the service-time ordering
+// test.
+func nanotime() int64 { return int64(time.Since(epoch)) }
+
+var epoch = time.Now()

@@ -1,0 +1,34 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead asserts the trace parser never panics on arbitrary input
+// and that anything it accepts re-serializes to an equivalent trace.
+func FuzzRead(f *testing.F) {
+	f.Add("offset_ns,type,service_ns\n0,0,500\n800,1,500000\n")
+	f.Add("0,0,1\n")
+	f.Add("")
+	f.Add("garbage")
+	f.Add("1,2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("accepted trace did not round-trip: %v", err)
+		}
+		if again.Len() != tr.Len() {
+			t.Fatalf("round trip changed length: %d vs %d", again.Len(), tr.Len())
+		}
+	})
+}

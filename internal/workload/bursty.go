@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// BurstySource is a two-state Markov-modulated Poisson process (an
+// on/off MMPP): arrivals alternate between a burst phase at
+// BaseRate×BurstFactor and a quiet phase at BaseRate/BurstFactor, with
+// exponentially distributed phase lengths. Its long-run average rate
+// is the mean of the two phase rates weighted by phase durations;
+// EffectiveRate reports it. Bursty arrivals are the §3 stress case for
+// DARC's reservation sizing ("reducing the number of cores available
+// to a type reduces its ability to absorb bursts").
+type BurstySource struct {
+	src         *Source
+	r           *rng.RNG
+	baseRate    float64
+	burstFactor float64
+	meanOn      time.Duration
+	meanOff     time.Duration
+
+	inBurst   bool
+	phaseLeft time.Duration
+}
+
+// NewBurstySource creates the source; burstFactor > 1 (e.g. 4 means
+// bursts at 4× base and quiet phases at base/4).
+func NewBurstySource(mix Mix, baseRate, burstFactor float64, meanOn, meanOff time.Duration, r *rng.RNG) (*BurstySource, error) {
+	if burstFactor <= 1 {
+		return nil, fmt.Errorf("workload: burst factor %g must exceed 1", burstFactor)
+	}
+	if meanOn <= 0 || meanOff <= 0 {
+		return nil, fmt.Errorf("workload: phase durations must be positive")
+	}
+	src, err := NewSource(mix, baseRate, r)
+	if err != nil {
+		return nil, err
+	}
+	b := &BurstySource{
+		src:         src,
+		r:           r,
+		baseRate:    baseRate,
+		burstFactor: burstFactor,
+		meanOn:      meanOn,
+		meanOff:     meanOff,
+	}
+	b.enterPhase(false)
+	return b, nil
+}
+
+func (b *BurstySource) enterPhase(burst bool) {
+	b.inBurst = burst
+	if burst {
+		b.phaseLeft = time.Duration(b.r.Exp(float64(b.meanOn)))
+		b.src.SetRate(b.baseRate * b.burstFactor)
+	} else {
+		b.phaseLeft = time.Duration(b.r.Exp(float64(b.meanOff)))
+		b.src.SetRate(b.baseRate / b.burstFactor)
+	}
+}
+
+// EffectiveRate reports the long-run average arrival rate.
+func (b *BurstySource) EffectiveRate() float64 {
+	on := b.meanOn.Seconds()
+	off := b.meanOff.Seconds()
+	return (b.baseRate*b.burstFactor*on + b.baseRate/b.burstFactor*off) / (on + off)
+}
+
+// Next implements the generator contract used by trace.Generate: it
+// returns the next arrival's gap, type and service demand, advancing
+// the phase process as virtual time passes.
+func (b *BurstySource) Next() (time.Duration, int, time.Duration) {
+	var total time.Duration
+	for {
+		a := b.src.Next()
+		if a.Gap <= b.phaseLeft {
+			b.phaseLeft -= a.Gap
+			return total + a.Gap, a.Type, a.Service
+		}
+		// The phase ends before this arrival: burn the remaining phase
+		// time and resample the gap in the new phase.
+		total += b.phaseLeft
+		b.enterPhase(!b.inBurst)
+	}
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func TestBurstySourceValidation(t *testing.T) {
+	mix := HighBimodal()
+	if _, err := NewBurstySource(mix, 1000, 1.0, time.Millisecond, time.Millisecond, rng.New(1)); err == nil {
+		t.Fatal("burst factor 1 accepted")
+	}
+	if _, err := NewBurstySource(mix, 1000, 4, 0, time.Millisecond, rng.New(1)); err == nil {
+		t.Fatal("zero on-phase accepted")
+	}
+	if _, err := NewBurstySource(mix, 1000, 4, time.Millisecond, 0, rng.New(1)); err == nil {
+		t.Fatal("zero off-phase accepted")
+	}
+	if _, err := NewBurstySource(Mix{}, 1000, 4, time.Millisecond, time.Millisecond, rng.New(1)); err == nil {
+		t.Fatal("invalid mix accepted")
+	}
+}
+
+func TestBurstySourceEffectiveRate(t *testing.T) {
+	mix := HighBimodal()
+	b, err := NewBurstySource(mix, 10000, 4, 5*time.Millisecond, 15*time.Millisecond, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (4·base·5 + base/4·15) / 20 = base·(20+3.75)/20 = 1.1875·base.
+	want := 10000 * (4*5 + 0.25*15) / 20
+	if math.Abs(b.EffectiveRate()-want) > 1 {
+		t.Fatalf("effective rate %g, want %g", b.EffectiveRate(), want)
+	}
+}
+
+func TestBurstySourceEmpiricalRate(t *testing.T) {
+	mix := HighBimodal()
+	base := 100000.0
+	b, err := NewBurstySource(mix, base, 4, 5*time.Millisecond, 15*time.Millisecond, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var elapsed time.Duration
+	n := 0
+	for elapsed < 4*time.Second {
+		gap, typ, svc := b.Next()
+		if gap < 0 || svc <= 0 || typ < 0 || typ >= len(mix.Types) {
+			t.Fatalf("bad arrival gap=%v typ=%d svc=%v", gap, typ, svc)
+		}
+		elapsed += gap
+		n++
+	}
+	got := float64(n) / elapsed.Seconds()
+	want := b.EffectiveRate()
+	if math.Abs(got-want)/want > 0.15 {
+		t.Fatalf("empirical rate %.0f, want ~%.0f", got, want)
+	}
+}
+
+func TestBurstySourceBurstiness(t *testing.T) {
+	// The MMPP must produce materially higher variance in per-window
+	// counts than plain Poisson at the same average rate.
+	mix := HighBimodal()
+	b, err := NewBurstySource(mix, 50000, 4, 5*time.Millisecond, 15*time.Millisecond, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := 2 * time.Millisecond
+	counts := countPerWindow(t, b.Next, window, 500)
+	poisson, err := NewSource(mix, b.EffectiveRate(), rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pCounts := countPerWindow(t, func() (time.Duration, int, time.Duration) {
+		a := poisson.Next()
+		return a.Gap, a.Type, a.Service
+	}, window, 500)
+	if burstVar(counts) < 2*burstVar(pCounts) {
+		t.Fatalf("MMPP window variance %.1f not clearly above Poisson %.1f",
+			burstVar(counts), burstVar(pCounts))
+	}
+}
+
+func countPerWindow(t *testing.T, next func() (time.Duration, int, time.Duration), window time.Duration, windows int) []float64 {
+	t.Helper()
+	counts := make([]float64, windows)
+	var at time.Duration
+	for {
+		gap, _, _ := next()
+		at += gap
+		idx := int(at / window)
+		if idx >= windows {
+			return counts
+		}
+		counts[idx]++
+	}
+}
+
+func burstVar(xs []float64) float64 {
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	for _, x := range xs {
+		sq += (x - mean) * (x - mean)
+	}
+	return sq / float64(len(xs))
+}
+
+func TestSourceMixAccessor(t *testing.T) {
+	src, _ := NewSource(HighBimodal(), 1000, rng.New(6))
+	if src.Mix().Name != "HighBimodal" {
+		t.Fatalf("mix %q", src.Mix().Name)
+	}
+}
+
+func TestPeakLoadZeroMean(t *testing.T) {
+	if (Mix{}).PeakLoad(4) != 0 {
+		t.Fatal("empty mix peak not zero")
+	}
+	if (Mix{}).Dispersion() != 0 {
+		t.Fatal("empty mix dispersion not zero")
+	}
+}

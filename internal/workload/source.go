@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Arrival is one generated request: its type, its sampled service
+// demand, and the gap since the previous arrival.
+type Arrival struct {
+	Gap     time.Duration
+	Type    int
+	Service time.Duration
+}
+
+// Source is an open-loop Poisson arrival process over a mix: requests
+// arrive with exponential inter-arrival gaps at a configured rate
+// regardless of how the server keeps up (the paper's client model).
+// Not safe for concurrent use.
+type Source struct {
+	mix  Mix
+	rate float64 // requests per second
+	rng  *rng.RNG
+	cum  []float64
+}
+
+// NewSource creates a source over mix at the given arrival rate
+// (requests/second), drawing randomness from r.
+func NewSource(mix Mix, ratePerSec float64, r *rng.RNG) (*Source, error) {
+	if err := mix.Validate(); err != nil {
+		return nil, err
+	}
+	if ratePerSec <= 0 {
+		return nil, fmt.Errorf("workload: non-positive arrival rate %g", ratePerSec)
+	}
+	s := &Source{mix: mix, rate: ratePerSec, rng: r}
+	s.buildCum()
+	return s, nil
+}
+
+func (s *Source) buildCum() {
+	s.cum = make([]float64, len(s.mix.Types))
+	var total float64
+	for i, t := range s.mix.Types {
+		total += t.Ratio
+		s.cum[i] = total
+	}
+}
+
+// Mix returns the source's current mix.
+func (s *Source) Mix() Mix { return s.mix }
+
+// Rate returns the source's current arrival rate in requests/second.
+func (s *Source) Rate() float64 { return s.rate }
+
+// SetRate changes the arrival rate for subsequent arrivals.
+func (s *Source) SetRate(ratePerSec float64) {
+	if ratePerSec > 0 {
+		s.rate = ratePerSec
+	}
+}
+
+// SetMix swaps the workload composition for subsequent arrivals, used
+// by phase schedules. The new mix must have the same number of types
+// (types keep their identity across phases).
+func (s *Source) SetMix(mix Mix) error {
+	if err := mix.Validate(); err != nil {
+		return err
+	}
+	if len(mix.Types) != len(s.mix.Types) {
+		return fmt.Errorf("workload: phase change from %d to %d types not supported", len(s.mix.Types), len(mix.Types))
+	}
+	s.mix = mix
+	s.buildCum()
+	return nil
+}
+
+// Next generates the next arrival.
+func (s *Source) Next() Arrival {
+	gapSec := s.rng.Exp(1 / s.rate)
+	u := s.rng.Float64() * s.cum[len(s.cum)-1]
+	typ := len(s.cum) - 1
+	for i, c := range s.cum {
+		if u < c {
+			typ = i
+			break
+		}
+	}
+	return Arrival{
+		Gap:     time.Duration(gapSec * float64(time.Second)),
+		Type:    typ,
+		Service: s.mix.Types[typ].Service.Sample(s.rng),
+	}
+}
+
+// Phase is one segment of a phased workload: a mix, an arrival rate
+// and how long the segment lasts.
+type Phase struct {
+	Mix      Mix
+	Rate     float64 // requests per second
+	Duration time.Duration
+}
+
+// Schedule is a sequence of phases, used by the workload-change
+// experiment. The final phase runs until the experiment horizon.
+type Schedule struct {
+	Phases []Phase
+}
+
+// Validate checks every phase.
+func (sc Schedule) Validate() error {
+	if len(sc.Phases) == 0 {
+		return fmt.Errorf("workload: empty schedule")
+	}
+	n := len(sc.Phases[0].Mix.Types)
+	for i, p := range sc.Phases {
+		if err := p.Mix.Validate(); err != nil {
+			return fmt.Errorf("phase %d: %w", i, err)
+		}
+		if len(p.Mix.Types) != n {
+			return fmt.Errorf("phase %d: has %d types, phase 0 has %d", i, len(p.Mix.Types), n)
+		}
+		if p.Rate <= 0 {
+			return fmt.Errorf("phase %d: non-positive rate", i)
+		}
+		if i < len(sc.Phases)-1 && p.Duration <= 0 {
+			return fmt.Errorf("phase %d: non-positive duration", i)
+		}
+	}
+	return nil
+}
+
+// TotalDuration reports the sum of phase durations.
+func (sc Schedule) TotalDuration() time.Duration {
+	var d time.Duration
+	for _, p := range sc.Phases {
+		d += p.Duration
+	}
+	return d
+}
+
+// PhaseAt returns the phase index active at the given instant from the
+// schedule start.
+func (sc Schedule) PhaseAt(t time.Duration) int {
+	var acc time.Duration
+	for i, p := range sc.Phases {
+		acc += p.Duration
+		if t < acc {
+			return i
+		}
+	}
+	return len(sc.Phases) - 1
+}

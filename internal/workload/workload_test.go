@@ -1,0 +1,206 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func TestPredefinedMixesValidate(t *testing.T) {
+	for _, mix := range []Mix{HighBimodal(), ExtremeBimodal(), TPCC(), RocksDB()} {
+		if err := mix.Validate(); err != nil {
+			t.Errorf("%s: %v", mix.Name, err)
+		}
+	}
+}
+
+func TestHighBimodalTable3(t *testing.T) {
+	m := HighBimodal()
+	if got := m.MeanService(); got != 50500*time.Nanosecond {
+		t.Fatalf("mean %v, want 50.5µs", got)
+	}
+	if got := m.Dispersion(); got != 100 {
+		t.Fatalf("dispersion %g, want 100x", got)
+	}
+}
+
+func TestExtremeBimodalTable3(t *testing.T) {
+	m := ExtremeBimodal()
+	mean := 0.995*500 + 0.005*500000 // 2997.5ns
+	want := time.Duration(mean)
+	if got := m.MeanService(); got != want {
+		t.Fatalf("mean %v, want %v", got, want)
+	}
+	if got := m.Dispersion(); got != 1000 {
+		t.Fatalf("dispersion %g, want 1000x", got)
+	}
+	// §2: peak for 16 workers is ~5.3 Mrps.
+	peak := m.PeakLoad(16)
+	if peak < 5.2e6 || peak > 5.5e6 {
+		t.Fatalf("16-worker peak %g rps, want ~5.34M", peak)
+	}
+}
+
+func TestTPCCTable4(t *testing.T) {
+	m := TPCC()
+	if len(m.Types) != 5 {
+		t.Fatalf("TPC-C has %d types", len(m.Types))
+	}
+	// Dispersion at most 17.5x per the paper.
+	if got := m.Dispersion(); math.Abs(got-100.0/5.7) > 0.01 {
+		t.Fatalf("dispersion %g, want ~17.5x", got)
+	}
+	if m.IndexOf("Payment") != 0 || m.IndexOf("StockLevel") != 4 {
+		t.Fatal("TPC-C type order changed")
+	}
+	if m.IndexOf("nope") != -1 {
+		t.Fatal("IndexOf missing type")
+	}
+}
+
+func TestRocksDBDispersion(t *testing.T) {
+	m := RocksDB()
+	got := m.Dispersion()
+	if math.Abs(got-635000.0/1500) > 0.5 {
+		t.Fatalf("dispersion %g, want ~423x", got)
+	}
+}
+
+func TestValidateRejectsBadMixes(t *testing.T) {
+	cases := []Mix{
+		{Name: "empty"},
+		{Name: "zero-ratio", Types: []TypeSpec{{Name: "a", Ratio: 0, Service: rng.Fixed(1)}}},
+		{Name: "no-dist", Types: []TypeSpec{{Name: "a", Ratio: 1}}},
+		{Name: "bad-sum", Types: []TypeSpec{{Name: "a", Ratio: 0.4, Service: rng.Fixed(1)}}},
+		{Name: "zero-mean", Types: []TypeSpec{{Name: "a", Ratio: 1, Service: rng.Fixed(0)}}},
+	}
+	for _, m := range cases {
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: accepted", m.Name)
+		}
+	}
+}
+
+func TestSourceRatios(t *testing.T) {
+	m := ExtremeBimodal()
+	src, err := NewSource(m, 1e6, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(m.Types))
+	n := 200000
+	for i := 0; i < n; i++ {
+		a := src.Next()
+		counts[a.Type]++
+		if a.Service != m.Types[a.Type].Service.Mean() {
+			t.Fatalf("fixed service mismatch: %v", a.Service)
+		}
+		if a.Gap < 0 {
+			t.Fatalf("negative gap %v", a.Gap)
+		}
+	}
+	shortFrac := float64(counts[0]) / float64(n)
+	if math.Abs(shortFrac-0.995) > 0.002 {
+		t.Fatalf("short fraction %g, want ~0.995", shortFrac)
+	}
+}
+
+func TestSourcePoissonRate(t *testing.T) {
+	src, err := NewSource(HighBimodal(), 1e6, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total time.Duration
+	n := 100000
+	for i := 0; i < n; i++ {
+		total += src.Next().Gap
+	}
+	gotRate := float64(n) / total.Seconds()
+	if math.Abs(gotRate-1e6)/1e6 > 0.02 {
+		t.Fatalf("empirical rate %g, want ~1e6", gotRate)
+	}
+}
+
+func TestSourceSetRate(t *testing.T) {
+	src, _ := NewSource(HighBimodal(), 1e6, rng.New(3))
+	src.SetRate(2e6)
+	if src.Rate() != 2e6 {
+		t.Fatalf("rate %g", src.Rate())
+	}
+	src.SetRate(-1) // ignored
+	if src.Rate() != 2e6 {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestSourceSetMix(t *testing.T) {
+	src, _ := NewSource(HighBimodal(), 1e6, rng.New(4))
+	if err := src.SetMix(ExtremeBimodal()); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.SetMix(TPCC()); err == nil {
+		t.Fatal("type-count change accepted")
+	}
+}
+
+func TestSourceRejectsBadInput(t *testing.T) {
+	if _, err := NewSource(Mix{}, 1e6, rng.New(1)); err == nil {
+		t.Fatal("invalid mix accepted")
+	}
+	if _, err := NewSource(HighBimodal(), 0, rng.New(1)); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	good := Schedule{Phases: []Phase{
+		{Mix: HighBimodal(), Rate: 1e6, Duration: time.Second},
+		{Mix: ExtremeBimodal(), Rate: 2e6, Duration: time.Second},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := good.TotalDuration(); got != 2*time.Second {
+		t.Fatalf("total %v", got)
+	}
+	bad := Schedule{Phases: []Phase{
+		{Mix: HighBimodal(), Rate: 1e6, Duration: time.Second},
+		{Mix: TPCC(), Rate: 1e6, Duration: time.Second},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("type-count change across phases accepted")
+	}
+	if err := (Schedule{}).Validate(); err == nil {
+		t.Fatal("empty schedule accepted")
+	}
+}
+
+func TestSchedulePhaseAt(t *testing.T) {
+	sc := Schedule{Phases: []Phase{
+		{Mix: HighBimodal(), Rate: 1, Duration: time.Second},
+		{Mix: HighBimodal(), Rate: 1, Duration: time.Second},
+		{Mix: HighBimodal(), Rate: 1, Duration: time.Second},
+	}}
+	if sc.PhaseAt(0) != 0 || sc.PhaseAt(1500*time.Millisecond) != 1 || sc.PhaseAt(10*time.Second) != 2 {
+		t.Fatal("PhaseAt wrong")
+	}
+}
+
+func TestTwoType(t *testing.T) {
+	m := TwoType("A", time.Microsecond, 0.5, "B", 100*time.Microsecond)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Types[0].Name != "A" || m.Types[1].Ratio != 0.5 {
+		t.Fatal("TwoType fields wrong")
+	}
+}
+
+func TestTypeNames(t *testing.T) {
+	names := TPCC().TypeNames()
+	if len(names) != 5 || names[0] != "Payment" {
+		t.Fatalf("names %v", names)
+	}
+}

@@ -1,0 +1,201 @@
+package persephone
+
+import (
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/darc"
+	"repro/internal/loadgen"
+	"repro/internal/proto"
+	"repro/internal/psp"
+)
+
+// Live runtime facade ---------------------------------------------------
+
+// Classifier types incoming request payloads; see the constructors
+// below and the paper's §4.2 request-classifier API.
+type Classifier = classify.Classifier
+
+// UnknownType marks unclassifiable requests; they are served on
+// spillway cores at low priority.
+const UnknownType = classify.Unknown
+
+// FieldClassifier reads the request type from a little-endian uint16
+// at a fixed payload offset (the ≈100ns fast path the paper measures).
+func FieldClassifier(offset, numTypes int) Classifier {
+	return classify.Field{Offset: offset, Types: numTypes}
+}
+
+// CommandClassifier types text protocols by their first token
+// (memcached-style); type IDs follow the argument order.
+func CommandClassifier(commands ...string) Classifier {
+	return classify.NewCommand(commands...)
+}
+
+// RESPClassifier types Redis-serialization-protocol requests by
+// command name.
+func RESPClassifier(commands ...string) Classifier {
+	return classify.NewRESP(commands...)
+}
+
+// FuncClassifier wraps an arbitrary classification function producing
+// types in [0, numTypes).
+func FuncClassifier(name string, numTypes int, f func(payload []byte) int) Classifier {
+	return classify.Func{F: f, Types: numTypes, Label: name}
+}
+
+// Handler executes application logic on worker cores.
+type Handler = psp.Handler
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc = psp.HandlerFunc
+
+// Response is a completed request as seen by the submitter.
+type Response = psp.Response
+
+// Status values for responses.
+const (
+	StatusOK      = proto.StatusOK
+	StatusDropped = proto.StatusDropped
+	StatusError   = proto.StatusError
+)
+
+// LiveConfig assembles a live server.
+type LiveConfig struct {
+	// Workers is the number of application worker goroutines.
+	Workers int
+	// Classifier types payloads (required).
+	Classifier Classifier
+	// Handler executes requests (required).
+	Handler Handler
+	// UseCFCFS disables DARC and runs plain centralized FCFS (the
+	// baseline mode).
+	UseCFCFS bool
+	// MinWindowSamples tunes DARC's profiling window (default 512).
+	MinWindowSamples uint64
+	// QueueCap bounds each typed queue (default 4096); overflowing
+	// requests are answered with StatusDropped.
+	QueueCap int
+}
+
+// LiveServer is the running Perséphone pipeline.
+type LiveServer = psp.Server
+
+// LiveStats is a snapshot of live-server metrics.
+type LiveStats = psp.Stats
+
+// NewLiveServer builds and starts the live runtime.
+func NewLiveServer(cfg LiveConfig) (*LiveServer, error) {
+	mode := psp.ModeDARC
+	if cfg.UseCFCFS {
+		mode = psp.ModeCFCFS
+	}
+	dcfg := darc.DefaultConfig(max(cfg.Workers, 1))
+	if cfg.Workers <= 1 {
+		dcfg.Spillway = 0
+	}
+	if cfg.MinWindowSamples > 0 {
+		dcfg.MinWindowSamples = cfg.MinWindowSamples
+	} else {
+		dcfg.MinWindowSamples = 512
+	}
+	srv, err := psp.NewServer(psp.Config{
+		Workers:    cfg.Workers,
+		Classifier: cfg.Classifier,
+		Handler:    cfg.Handler,
+		Mode:       mode,
+		DARC:       dcfg,
+		QueueCap:   cfg.QueueCap,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv.Start()
+	return srv, nil
+}
+
+// ServeUDP exposes a configured (not yet started) live server over
+// UDP; use NewLiveServerStopped + ServeUDP for network deployments, or
+// the psp package directly for full control.
+func ServeUDP(addr string, cfg LiveConfig) (*psp.UDPServer, error) {
+	mode := psp.ModeDARC
+	if cfg.UseCFCFS {
+		mode = psp.ModeCFCFS
+	}
+	dcfg := darc.DefaultConfig(max(cfg.Workers, 1))
+	if cfg.Workers <= 1 {
+		dcfg.Spillway = 0
+	}
+	if cfg.MinWindowSamples > 0 {
+		dcfg.MinWindowSamples = cfg.MinWindowSamples
+	} else {
+		dcfg.MinWindowSamples = 512
+	}
+	srv, err := psp.NewServer(psp.Config{
+		Workers:    cfg.Workers,
+		Classifier: cfg.Classifier,
+		Handler:    cfg.Handler,
+		Mode:       mode,
+		DARC:       dcfg,
+		QueueCap:   cfg.QueueCap,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return psp.ListenUDP(addr, srv)
+}
+
+// ServeTCP exposes a live server over TCP with length-prefixed frames
+// (the stateful-dispatcher deployment §6 of the paper sketches).
+func ServeTCP(addr string, cfg LiveConfig) (*psp.TCPServer, error) {
+	mode := psp.ModeDARC
+	if cfg.UseCFCFS {
+		mode = psp.ModeCFCFS
+	}
+	dcfg := darc.DefaultConfig(max(cfg.Workers, 1))
+	if cfg.Workers <= 1 {
+		dcfg.Spillway = 0
+	}
+	if cfg.MinWindowSamples > 0 {
+		dcfg.MinWindowSamples = cfg.MinWindowSamples
+	} else {
+		dcfg.MinWindowSamples = 512
+	}
+	srv, err := psp.NewServer(psp.Config{
+		Workers:    cfg.Workers,
+		Classifier: cfg.Classifier,
+		Handler:    cfg.Handler,
+		Mode:       mode,
+		DARC:       dcfg,
+		QueueCap:   cfg.QueueCap,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return psp.ListenTCP(addr, srv)
+}
+
+// DialTCP connects a synchronous client to a ServeTCP server.
+func DialTCP(addr string) (*psp.TCPClient, error) { return psp.DialTCP(addr) }
+
+// LoadConfig drives the open-loop load generator against a live
+// server.
+type LoadConfig = loadgen.Config
+
+// LoadResult summarises a load generation run.
+type LoadResult = loadgen.Result
+
+// GenerateLoad runs the open-loop Poisson client against an in-process
+// live server.
+func GenerateLoad(srv *LiveServer, cfg LoadConfig) (*LoadResult, error) {
+	return loadgen.RunInProcess(srv, cfg)
+}
+
+// GenerateLoadUDP runs the open-loop Poisson client against a UDP
+// server address.
+func GenerateLoadUDP(addr string, cfg LoadConfig) (*LoadResult, error) {
+	return loadgen.RunUDP(addr, cfg)
+}
+
+// Timeout helper so examples don't import time for one constant.
+func Seconds(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }

@@ -1,0 +1,377 @@
+package persephone
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/darc"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/rng"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Mix is a workload: a set of request types with occurrence ratios and
+// service-time distributions.
+type Mix = workload.Mix
+
+// TypeSpec describes one request type in a Mix.
+type TypeSpec = workload.TypeSpec
+
+// Re-exported workload constructors (the paper's evaluation mixes).
+var (
+	// HighBimodal is Table 3's 100x-dispersion workload.
+	HighBimodal = workload.HighBimodal
+	// ExtremeBimodal is Table 3's 1000x-dispersion workload.
+	ExtremeBimodal = workload.ExtremeBimodal
+	// TPCC is Table 4's five-transaction workload.
+	TPCC = workload.TPCC
+	// RocksDB is §5.4.4's 50% GET / 50% SCAN workload.
+	RocksDB = workload.RocksDB
+	// TwoType builds a custom two-type mix.
+	TwoType = workload.TwoType
+)
+
+// MixByName resolves a workload name used across the CLIs:
+// "high-bimodal", "extreme-bimodal", "tpcc", "rocksdb" (with short
+// aliases "high", "extreme", "tpc-c").
+func MixByName(name string) (Mix, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "high-bimodal", "high":
+		return HighBimodal(), nil
+	case "extreme-bimodal", "extreme":
+		return ExtremeBimodal(), nil
+	case "tpcc", "tpc-c":
+		return TPCC(), nil
+	case "rocksdb":
+		return RocksDB(), nil
+	default:
+		return Mix{}, fmt.Errorf("persephone: unknown workload %q (high-bimodal, extreme-bimodal, tpcc, rocksdb)", name)
+	}
+}
+
+// FixedService returns a degenerate service-time distribution, the
+// building block for custom mixes.
+func FixedService(d time.Duration) rng.Dist { return rng.Fixed(d) }
+
+// ExpService returns an exponential service-time distribution.
+func ExpService(mean time.Duration) rng.Dist { return rng.Exponential(mean) }
+
+// SimConfig configures one simulated run.
+type SimConfig struct {
+	// Workers is the number of simulated cores (paper testbed: 14).
+	Workers int
+	// Mix is the workload.
+	Mix Mix
+	// Policy selects the scheduler by name; see ParsePolicy.
+	Policy string
+	// LoadFraction is the offered load as a fraction of the mix's
+	// peak for this worker count; Rate (requests/second) overrides it.
+	LoadFraction float64
+	Rate         float64
+	// Duration is the simulated horizon (default 1s); the first 10%
+	// is discarded as warm-up.
+	Duration time.Duration
+	// RTT adds a fixed network round-trip to the end-to-end latency
+	// view (the paper's testbed measured 10µs).
+	RTT time.Duration
+	// Seed makes runs reproducible (default 42).
+	Seed uint64
+	// ProfileWindow overrides DARC's profiling-window sample count.
+	// Zero auto-scales it so the c-FCFS startup phase completes within
+	// the warm-up discard (the paper's 50000-sample window assumes 20s
+	// runs; shorter runs need proportionally smaller windows).
+	ProfileWindow uint64
+}
+
+// TypeResult summarises one request type after a run.
+type TypeResult struct {
+	Name         string
+	Completed    uint64
+	Dropped      uint64
+	P50          time.Duration
+	P99          time.Duration
+	P999         time.Duration
+	SlowdownP999 float64
+}
+
+// SimResult summarises a simulated run.
+type SimResult struct {
+	Policy          string
+	OfferedRPS      float64
+	ThroughputRPS   float64
+	Completed       uint64
+	Dropped         uint64
+	Utilization     float64
+	OverallP999     time.Duration
+	OverallSlowdown float64 // p99.9 slowdown across all requests
+	Types           []TypeResult
+}
+
+// Simulate runs the discrete-event simulator once.
+func Simulate(cfg SimConfig) (*SimResult, error) {
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 14
+	}
+	newPolicy, err := ParsePolicy(cfg.Policy, cfg.Workers, cfg.Mix, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// DARC's c-FCFS startup must fit inside the 10% warm-up discard,
+	// or its tail numbers are polluted by the pre-reservation phase.
+	if n := strings.ToLower(strings.TrimSpace(cfg.Policy)); n == "" || n == "darc" {
+		rate := cfg.Rate
+		if rate <= 0 {
+			rate = cfg.LoadFraction * cfg.Mix.PeakLoad(cfg.Workers)
+		}
+		window := cfg.ProfileWindow
+		if window == 0 {
+			auto := uint64(rate * cfg.Duration.Seconds() * 0.1 * 0.5)
+			window = minU64(50000, maxU64(500, auto))
+		}
+		workers, numTypes := cfg.Workers, len(cfg.Mix.Types)
+		newPolicy = func() cluster.Policy {
+			dcfg := darc.DefaultConfig(workers)
+			dcfg.MinWindowSamples = window
+			return policy.NewDARC(dcfg, numTypes, 0)
+		}
+	}
+	res, err := cluster.Run(cluster.Config{
+		Workers:        cfg.Workers,
+		Mix:            cfg.Mix,
+		LoadFraction:   cfg.LoadFraction,
+		Rate:           cfg.Rate,
+		Duration:       cfg.Duration,
+		WarmupFraction: 0.1,
+		Seed:           cfg.Seed,
+		RTT:            cfg.RTT,
+		NewPolicy:      newPolicy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buildSimResult(res, len(cfg.Mix.Types)), nil
+}
+
+func buildSimResult(res *cluster.Result, numTypes int) *SimResult {
+	out := &SimResult{
+		Policy:          res.Policy,
+		OfferedRPS:      res.OfferedRPS,
+		ThroughputRPS:   res.Recorder.Throughput(),
+		Completed:       res.Machine.Completed(),
+		Dropped:         res.Machine.Dropped(),
+		Utilization:     res.Machine.Utilization(),
+		OverallP999:     res.Recorder.All().Latency.QuantileDuration(0.999),
+		OverallSlowdown: metrics.SlowdownAt(res.Recorder.All(), 0.999),
+	}
+	for i := 0; i < numTypes; i++ {
+		ts := res.Recorder.Type(i)
+		out.Types = append(out.Types, TypeResult{
+			Name:         ts.Name,
+			Completed:    ts.Completed,
+			Dropped:      ts.Dropped,
+			P50:          ts.Latency.QuantileDuration(0.50),
+			P99:          ts.Latency.QuantileDuration(0.99),
+			P999:         ts.Latency.QuantileDuration(0.999),
+			SlowdownP999: metrics.SlowdownAt(ts, 0.999),
+		})
+	}
+	return out
+}
+
+// Trace is a recorded arrival sequence (see cmd/psp-trace and the
+// internal/trace package for the CSV format).
+type Trace = trace.Trace
+
+// ReadTrace parses a CSV arrival trace.
+func ReadTrace(r io.Reader) (*Trace, error) { return trace.Read(r) }
+
+// ReplayTrace replays a recorded arrival sequence through the
+// simulator under cfg's policy and worker count. Mix (optional)
+// supplies type names; Duration (optional) truncates the replay. The
+// DARC profiling window is auto-scaled from the trace's measured rate
+// like Simulate does.
+func ReplayTrace(tr *Trace, cfg SimConfig) (*SimResult, error) {
+	if tr == nil || tr.Len() == 0 {
+		return nil, fmt.Errorf("persephone: empty trace")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 14
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	newPolicy, err := ParsePolicy(cfg.Policy, cfg.Workers, cfg.Mix, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if n := strings.ToLower(strings.TrimSpace(cfg.Policy)); n == "" || n == "darc" {
+		dur := cfg.Duration
+		if dur <= 0 {
+			dur = tr.Duration()
+		}
+		window := cfg.ProfileWindow
+		if window == 0 {
+			auto := uint64(tr.Rate() * dur.Seconds() * 0.1 * 0.5)
+			window = minU64(50000, maxU64(500, auto))
+		}
+		workers := cfg.Workers
+		numTypes := tr.NumTypes()
+		newPolicy = func() cluster.Policy {
+			dcfg := darc.DefaultConfig(workers)
+			dcfg.MinWindowSamples = window
+			return policy.NewDARC(dcfg, numTypes, 0)
+		}
+	}
+	res, err := cluster.Run(cluster.Config{
+		Workers:        cfg.Workers,
+		Trace:          tr,
+		Mix:            cfg.Mix,
+		Duration:       cfg.Duration,
+		WarmupFraction: 0.1,
+		Seed:           cfg.Seed,
+		RTT:            cfg.RTT,
+		NewPolicy:      newPolicy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buildSimResult(res, tr.NumTypes()), nil
+}
+
+// PolicyNames lists the scheduler names ParsePolicy accepts.
+func PolicyNames() []string {
+	return []string{
+		"darc", "darc-static:N", "darc-elastic", "cfcfs", "dfcfs",
+		"shenango", "shinjuku-sq", "shinjuku-mq", "ts-ideal:Nus",
+		"fp", "sjf", "edf", "drr",
+	}
+}
+
+// ParsePolicy resolves a policy name into a constructor bound to the
+// given machine shape. Recognized names (case-insensitive):
+//
+//	darc             the paper's policy with default tuning
+//	darc-static:N    N cores statically reserved for the shortest type
+//	cfcfs            centralized FCFS
+//	dfcfs            decentralized FCFS (RSS)
+//	shenango         per-core queues + work stealing
+//	shinjuku-sq      preemptive single queue (5µs quantum, 1µs cost)
+//	shinjuku-mq      preemptive multi-queue BVT (5µs quantum, 1µs cost)
+//	ts-ideal:Nus     idealized preemption with N µs total overhead
+//	fp               non-preemptive fixed priority (shortest first)
+//	sjf              oracle shortest-job-first
+func ParsePolicy(name string, workers int, mix Mix, seed uint64) (func() cluster.Policy, error) {
+	means := make([]time.Duration, len(mix.Types))
+	for i, t := range mix.Types {
+		means[i] = t.Service.Mean()
+	}
+	n := strings.ToLower(strings.TrimSpace(name))
+	arg := ""
+	if i := strings.IndexByte(n, ':'); i >= 0 {
+		n, arg = n[:i], n[i+1:]
+	}
+	switch n {
+	case "", "darc":
+		return func() cluster.Policy {
+			return policy.NewDARC(darc.DefaultConfig(workers), len(mix.Types), 0)
+		}, nil
+	case "darc-static":
+		reserved, err := strconv.Atoi(arg)
+		if err != nil || reserved < 0 || reserved > workers {
+			return nil, fmt.Errorf("persephone: darc-static needs :N with 0<=N<=%d, got %q", workers, arg)
+		}
+		return func() cluster.Policy {
+			return policy.NewDARCStatic(means, reserved, 0)
+		}, nil
+	case "cfcfs", "c-fcfs":
+		return func() cluster.Policy { return policy.NewCFCFS(0) }, nil
+	case "dfcfs", "d-fcfs":
+		return func() cluster.Policy { return policy.NewDFCFS(rng.New(seed+1), 0) }, nil
+	case "shenango", "work-stealing":
+		return func() cluster.Policy {
+			return policy.NewWorkStealing(rng.New(seed+2), 0, 100*time.Nanosecond)
+		}, nil
+	case "shinjuku-sq", "ts-sq":
+		return func() cluster.Policy {
+			return policy.NewTSSingleQueue(policy.TSConfig{Quantum: 5 * time.Microsecond, PreemptCost: time.Microsecond})
+		}, nil
+	case "shinjuku-mq", "ts-mq":
+		return func() cluster.Policy {
+			return policy.NewTSMultiQueue(policy.TSConfig{Quantum: 5 * time.Microsecond, PreemptCost: time.Microsecond}, len(mix.Types))
+		}, nil
+	case "ts-ideal":
+		var total time.Duration
+		if arg != "" {
+			us, err := strconv.ParseFloat(strings.TrimSuffix(arg, "us"), 64)
+			if err != nil || us < 0 {
+				return nil, fmt.Errorf("persephone: ts-ideal needs :Nus, got %q", arg)
+			}
+			total = time.Duration(us * float64(time.Microsecond))
+		}
+		return func() cluster.Policy {
+			return policy.NewTSIdeal(total/2, total-total/2, 0)
+		}, nil
+	case "fp", "fixed-priority":
+		return func() cluster.Policy { return policy.NewFixedPriority(means, 0) }, nil
+	case "sjf":
+		return func() cluster.Policy { return policy.NewSJF(0) }, nil
+	case "edf":
+		return func() cluster.Policy { return policy.NewEDF(means, 10, 0) }, nil
+	case "drr":
+		return func() cluster.Policy {
+			return policy.NewDRR(len(mix.Types), 10*time.Microsecond, nil, 0)
+		}, nil
+	case "darc-elastic":
+		return func() cluster.Policy {
+			return policy.NewElasticDARC(darc.DefaultConfig(workers), len(mix.Types), 0)
+		}, nil
+	default:
+		return nil, fmt.Errorf("persephone: unknown policy %q (have %v)", name, PolicyNames())
+	}
+}
+
+// ExperimentOptions tunes RunExperiment; zero value uses defaults (1s
+// per load point, the paper's load grid).
+type ExperimentOptions = experiments.Options
+
+// ExperimentNames lists the reproducible artifacts ("figure1",
+// "table3", ...).
+func ExperimentNames() []string { return experiments.Names() }
+
+// RunExperiment regenerates one of the paper's tables or figures and
+// prints it to w.
+func RunExperiment(name string, opt ExperimentOptions, w io.Writer) error {
+	return experiments.Run(name, opt, w)
+}
+
+// RunAllExperiments regenerates every table and figure.
+func RunAllExperiments(opt ExperimentOptions, w io.Writer) error {
+	return experiments.RunAll(opt, w)
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

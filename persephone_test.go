@@ -1,0 +1,286 @@
+package persephone_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	persephone "repro"
+	"repro/internal/proto"
+)
+
+func TestSimulateDefaults(t *testing.T) {
+	res, err := persephone.Simulate(persephone.SimConfig{
+		Mix:          persephone.HighBimodal(),
+		LoadFraction: 0.5,
+		Duration:     100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "DARC" {
+		t.Fatalf("default policy %q", res.Policy)
+	}
+	if res.Completed == 0 || len(res.Types) != 2 {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+func TestSimulateEveryPolicyName(t *testing.T) {
+	mix := persephone.HighBimodal()
+	names := []string{
+		"darc", "darc-static:1", "darc-elastic", "cfcfs", "dfcfs",
+		"shenango", "shinjuku-sq", "shinjuku-mq", "ts-ideal:2us",
+		"fp", "sjf", "edf", "drr",
+	}
+	for _, name := range names {
+		res, err := persephone.Simulate(persephone.SimConfig{
+			Workers:      4,
+			Mix:          mix,
+			Policy:       name,
+			LoadFraction: 0.4,
+			Duration:     30 * time.Millisecond,
+		})
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if res.Completed == 0 {
+			t.Errorf("%s: no completions", name)
+		}
+	}
+}
+
+func TestSimulateBadPolicy(t *testing.T) {
+	for _, name := range []string{"nope", "darc-static:x", "darc-static:99", "ts-ideal:abc"} {
+		_, err := persephone.Simulate(persephone.SimConfig{
+			Mix:          persephone.HighBimodal(),
+			Policy:       name,
+			LoadFraction: 0.5,
+			Duration:     10 * time.Millisecond,
+		})
+		if err == nil {
+			t.Errorf("%q accepted", name)
+		}
+	}
+}
+
+func TestSimulateDARCBeatsBaselineAtHighLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	mix := persephone.HighBimodal()
+	run := func(pol string) float64 {
+		res, err := persephone.Simulate(persephone.SimConfig{
+			Workers:      14,
+			Mix:          mix,
+			Policy:       pol,
+			LoadFraction: 0.85,
+			Duration:     400 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.OverallSlowdown
+	}
+	cf := run("cfcfs")
+	da := run("darc")
+	if da*3 > cf {
+		t.Fatalf("DARC %.1fx not clearly better than c-FCFS %.1fx", da, cf)
+	}
+}
+
+func TestExperimentNamesComplete(t *testing.T) {
+	names := persephone.ExperimentNames()
+	want := []string{
+		"ablation-delta", "ablation-dispatcher", "ablation-stealing",
+		"ext-autoscale", "ext-burst", "ext-fanout", "ext-fanout-sim", "ext-variance",
+		"figure1", "figure10", "figure3", "figure4", "figure5a",
+		"figure5b", "figure6", "figure7", "figure8", "figure9",
+		"table1", "table3", "table4", "table5",
+	}
+	if len(names) != len(want) {
+		t.Fatalf("names %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names %v, want %v", names, want)
+		}
+	}
+}
+
+func TestRunExperimentTables(t *testing.T) {
+	var buf bytes.Buffer
+	for _, name := range []string{"table1", "table3", "table4", "table5"} {
+		buf.Reset()
+		if err := persephone.RunExperiment(name, persephone.ExperimentOptions{}, &buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(buf.String(), name) {
+			t.Fatalf("%s output missing header: %q", name, buf.String()[:60])
+		}
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if err := persephone.RunExperiment("figure99", persephone.ExperimentOptions{}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunExperimentFigureSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	var buf bytes.Buffer
+	opt := persephone.ExperimentOptions{
+		Duration: 50 * time.Millisecond,
+		Loads:    []float64{0.5},
+	}
+	if err := persephone.RunExperiment("figure1", opt, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, col := range []string{"d-FCFS", "c-FCFS", "TS", "DARC"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("figure1 output missing %s:\n%s", col, out)
+		}
+	}
+}
+
+func TestLiveServerFacade(t *testing.T) {
+	srv, err := persephone.NewLiveServer(persephone.LiveConfig{
+		Workers:    2,
+		Classifier: persephone.CommandClassifier("PING"),
+		Handler: persephone.HandlerFunc(func(typ int, p, r []byte) (int, proto.Status) {
+			return copy(r, "PONG"), persephone.StatusOK
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	resp, err := srv.Call([]byte("PING"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Payload) != "PONG" || resp.Status != persephone.StatusOK {
+		t.Fatalf("resp %+v", resp)
+	}
+}
+
+func TestGenerateLoadFacade(t *testing.T) {
+	srv, err := persephone.NewLiveServer(persephone.LiveConfig{
+		Workers:    2,
+		Classifier: persephone.FieldClassifier(0, 2),
+		Handler: persephone.HandlerFunc(func(typ int, p, r []byte) (int, proto.Status) {
+			return 0, persephone.StatusOK
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	res, err := persephone.GenerateLoad(srv, persephone.LoadConfig{
+		Mix:      persephone.TwoType("a", time.Microsecond, 0.5, "b", 2*time.Microsecond),
+		Rate:     1000,
+		Duration: 200 * time.Millisecond,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Received == 0 {
+		t.Fatal("no responses")
+	}
+}
+
+func TestFuncClassifierFacade(t *testing.T) {
+	c := persephone.FuncClassifier("by-size", 2, func(p []byte) int {
+		if len(p) > 4 {
+			return 1
+		}
+		return 0
+	})
+	if c.Classify([]byte("12345")) != 1 || c.Classify([]byte("1")) != 0 {
+		t.Fatal("classifier wrong")
+	}
+}
+
+func TestReplayTraceFacade(t *testing.T) {
+	// Build a small trace by hand and replay it under two policies.
+	tr := &persephone.Trace{}
+	for i := 0; i < 500; i++ {
+		typ, svc := 0, time.Microsecond
+		if i%10 == 0 {
+			typ, svc = 1, 100*time.Microsecond
+		}
+		tr.Records = append(tr.Records, traceRecord(time.Duration(i)*5*time.Microsecond, typ, svc))
+	}
+	for _, pol := range []string{"darc", "cfcfs"} {
+		res, err := persephone.ReplayTrace(tr, persephone.SimConfig{
+			Workers: 4,
+			Policy:  pol,
+			Mix:     persephone.HighBimodal(),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if res.Completed != 500 {
+			t.Fatalf("%s: completed %d", pol, res.Completed)
+		}
+	}
+	if _, err := persephone.ReplayTrace(&persephone.Trace{}, persephone.SimConfig{}); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestReadTraceFacade(t *testing.T) {
+	tr, err := persephone.ReadTrace(strings.NewReader("offset_ns,type,service_ns\n0,0,1000\n500,1,2000\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 || tr.NumTypes() != 2 {
+		t.Fatalf("trace %+v", tr)
+	}
+}
+
+func TestServiceDistHelpers(t *testing.T) {
+	if persephone.FixedService(time.Microsecond).Mean() != time.Microsecond {
+		t.Fatal("FixedService mean")
+	}
+	if persephone.ExpService(time.Millisecond).Mean() != time.Millisecond {
+		t.Fatal("ExpService mean")
+	}
+	if persephone.Seconds(1.5) != 1500*time.Millisecond {
+		t.Fatal("Seconds helper")
+	}
+}
+
+// traceRecord builds one trace record (helper keeping the literals
+// readable above).
+func traceRecord(offset time.Duration, typ int, svc time.Duration) (r struct {
+	Offset  time.Duration
+	Type    int
+	Service time.Duration
+}) {
+	r.Offset, r.Type, r.Service = offset, typ, svc
+	return r
+}
+
+func TestMixByName(t *testing.T) {
+	for _, name := range []string{"high-bimodal", "extreme", "TPCC", "rocksdb"} {
+		mix, err := persephone.MixByName(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := mix.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := persephone.MixByName("nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
