@@ -24,6 +24,10 @@ func main() {
 	rate := flag.Float64("rate", 5000, "offered requests per second")
 	duration := flag.Duration("duration", 5*time.Second, "generation duration")
 	seed := flag.Uint64("seed", 1, "random seed")
+	timeout := flag.Duration("timeout", 0, "per-request response timeout (0 disables retransmission)")
+	retries := flag.Int("retries", 0, "max retransmissions per request (needs -timeout)")
+	backoff := flag.Duration("backoff", time.Millisecond, "base retry backoff, doubled per attempt with jitter")
+	backoffMax := flag.Duration("backoff-max", 0, "retry backoff cap (default 64x -backoff)")
 	flag.Parse()
 
 	mix, err := persephone.MixByName(*workloadName)
@@ -32,10 +36,14 @@ func main() {
 		os.Exit(2)
 	}
 	res, err := persephone.GenerateLoadUDP(*addr, persephone.LoadConfig{
-		Mix:      mix,
-		Rate:     *rate,
-		Duration: *duration,
-		Seed:     *seed,
+		Mix:             mix,
+		Rate:            *rate,
+		Duration:        *duration,
+		Seed:            *seed,
+		RequestTimeout:  *timeout,
+		MaxRetries:      *retries,
+		RetryBackoff:    *backoff,
+		RetryBackoffMax: *backoffMax,
 		BuildPayload: func(typ int) []byte {
 			// 2-byte type + 4 bytes of per-request entropy, matching
 			// psp-server's applications.
@@ -49,8 +57,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("sent %d  received %d  dropped/lost %d  achieved %.0f rps\n",
-		res.Sent, res.Received, res.Dropped, res.AchievedRate())
+	fmt.Printf("sent %d  received %d  dropped %d  timed out %d  retries %d  achieved %.0f rps\n",
+		res.Sent, res.Received, res.Dropped, res.TimedOut, res.Retries, res.AchievedRate())
+	if un := res.Unaccounted(); un != 0 {
+		fmt.Printf("WARNING: %d requests unaccounted for\n", un)
+	}
 	for i, h := range res.Latency {
 		if h.Count() == 0 {
 			continue

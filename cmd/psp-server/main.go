@@ -36,12 +36,21 @@ func main() {
 	workloadName := flag.String("workload", "high-bimodal", "synthetic app: workload defining per-type service times")
 	cfcfs := flag.Bool("cfcfs", false, "run the c-FCFS baseline instead of DARC")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /healthz on this address (e.g. 127.0.0.1:9941)")
+	faultSpec := flag.String("faults", "", `chaos profile, e.g. "seed=42,drop=0.1,dup=0.01,stall=0:5ms,slow=1:2,crash=0.001,respawn=10ms,resdelay=5ms"`)
 	flag.Parse()
 
 	cfg, err := buildApp(*app, *workloadName, *workers, *cfcfs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *faultSpec != "" {
+		profile, err := persephone.ParseFaultProfile(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Faults = &profile
 	}
 	udp, err := persephone.ServeUDP(*addr, cfg)
 	if err != nil {
@@ -50,6 +59,9 @@ func main() {
 	}
 	fmt.Printf("psp-server: %s app on %s, %d workers, policy %s\n",
 		*app, udp.Addr(), *workers, policyName(*cfcfs))
+	if cfg.Faults != nil {
+		fmt.Printf("chaos profile active: %s\n", cfg.Faults)
+	}
 	if *metricsAddr != "" {
 		bound, shutdown, err := udp.Server.ServeMetrics(*metricsAddr)
 		if err != nil {
@@ -68,6 +80,10 @@ func main() {
 	udp.Close()
 	fmt.Printf("\nenqueued %d  dispatched %d  dropped %d  reservation updates %d  rx drops %d\n",
 		st.Enqueued, st.Dispatched, st.Dropped, st.Updates, udp.RxDrops())
+	if st.FaultsInjected > 0 || st.RetriesSeen > 0 {
+		fmt.Printf("faults injected %d  worker restarts %d  client retries seen %d\n",
+			st.FaultsInjected, st.WorkerRestarts, st.RetriesSeen)
+	}
 	for _, row := range st.Summaries {
 		fmt.Printf("  %-10s n=%-8d p50=%-12v p999=%-12v slowdown999=%.1fx\n",
 			row.Name, row.Completed, row.P50, row.P999, row.Slowdown999)

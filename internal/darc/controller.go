@@ -1,6 +1,9 @@
 package darc
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // Controller ties the profiler, the reservation algorithm and the
 // update triggers together. Both the simulator policy and the live
@@ -12,15 +15,19 @@ import "time"
 //   - consult Reservation (nil during the c-FCFS startup window) and
 //     DispatchOrder to pick work.
 //
-// The controller is not safe for concurrent use; the dispatcher is a
-// single thread of control in both engines.
+// The controller's mutating methods are not safe for concurrent use;
+// the dispatcher is a single thread of control in both engines. The
+// Reservation and Updates accessors ARE safe from any goroutine (they
+// back stats endpoints and tests that watch a live dispatcher).
 type Controller struct {
 	cfg  Config
 	prof *Profiler
-	res  *Reservation
+	// res and updates are written only by the dispatcher thread but
+	// read from arbitrary goroutines, hence atomic.
+	res     atomic.Pointer[Reservation]
+	updates atomic.Uint64
 
 	pressure     bool
-	updates      uint64
 	lastSnapshot []TypeStats
 
 	// OnUpdate, when non-nil, is invoked after every reservation
@@ -49,10 +56,10 @@ func (c *Controller) Profiler() *Profiler { return c.prof }
 
 // Reservation returns the active reservation, or nil while the system
 // is still in its c-FCFS startup window.
-func (c *Controller) Reservation() *Reservation { return c.res }
+func (c *Controller) Reservation() *Reservation { return c.res.Load() }
 
 // Updates reports how many reservation updates have been applied.
-func (c *Controller) Updates() uint64 { return c.updates }
+func (c *Controller) Updates() uint64 { return c.updates.Load() }
 
 // Observe records a completed request's measured service time.
 func (c *Controller) Observe(typ int, service time.Duration) {
@@ -90,12 +97,12 @@ func (c *Controller) MaybeUpdate() bool {
 		return false
 	}
 	snapshot := c.prof.Snapshot()
-	if c.res != nil {
+	if cur := c.res.Load(); cur != nil {
 		if !c.pressure {
 			return false
 		}
 		demands := demandsOf(snapshot)
-		if !DemandDeviates(c.res.Demands, demands, c.cfg.DemandDeviation) {
+		if !DemandDeviates(cur.Demands, demands, c.cfg.DemandDeviation) {
 			// Pressure without a composition change: stay put, but
 			// keep watching (do not clear pressure so the next window
 			// can still react).
@@ -110,10 +117,10 @@ func (c *Controller) MaybeUpdate() bool {
 		c.prof.Rotate()
 		return false
 	}
-	c.res = res
+	c.res.Store(res)
 	c.lastSnapshot = snapshot
 	c.pressure = false
-	c.updates++
+	c.updates.Add(1)
 	c.prof.Rotate()
 	if c.OnUpdate != nil {
 		c.OnUpdate(res)
@@ -134,7 +141,7 @@ func (c *Controller) Resize(workers int) (bool, error) {
 		return false, err
 	}
 	c.cfg = cfg
-	if c.prof.WindowSamples() == 0 && c.res == nil {
+	if c.prof.WindowSamples() == 0 && c.res.Load() == nil {
 		// Still in the startup window with no samples: nothing to
 		// recompute yet.
 		return false, nil
@@ -147,8 +154,8 @@ func (c *Controller) Resize(workers int) (bool, error) {
 	// workers beyond the new population.
 	if c.lastSnapshot != nil {
 		if res, err := ComputeReservation(c.lastSnapshot, c.cfg); err == nil {
-			c.res = res
-			c.updates++
+			c.res.Store(res)
+			c.updates.Add(1)
 			if c.OnUpdate != nil {
 				c.OnUpdate(res)
 			}
@@ -166,10 +173,10 @@ func (c *Controller) ForceUpdate() bool {
 	if err != nil {
 		return false
 	}
-	c.res = res
+	c.res.Store(res)
 	c.lastSnapshot = snapshot
 	c.pressure = false
-	c.updates++
+	c.updates.Add(1)
 	c.prof.Rotate()
 	if c.OnUpdate != nil {
 		c.OnUpdate(res)

@@ -1,0 +1,445 @@
+// Package faults is the deterministic fault-injection (chaos) layer
+// for the live Perséphone runtime. A Profile describes which
+// infrastructure misbehaviours to create — probabilistic and bursty
+// packet drop or duplication at ingress, stalled or slowed application
+// workers, crash-then-respawn of workers, and delayed DARC reservation
+// updates — and an Injector makes the per-event decisions.
+//
+// Decisions are driven by the seeded generator in internal/rng, with
+// one independent stream per decision site (ingress drop, ingress
+// duplication, and one per worker), so the decision sequence at each
+// site is a pure function of the profile seed regardless of how the
+// sites interleave at runtime. Two injectors built from the same
+// profile produce identical decision sequences — chaos runs are
+// reproducible.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Profile configures one chaos scenario. The zero value injects
+// nothing; a worker-targeted fault is active only when its magnitude
+// field is set (StallDuration > 0, SlowFactor > 1), so a zero
+// StallWorker does not accidentally target worker 0.
+type Profile struct {
+	// Seed drives every injection decision; runs with equal seeds and
+	// profiles make identical decisions.
+	Seed uint64
+	// DropRate is the probability an ingress request is dropped before
+	// classification (the packet vanishes; no response is sent).
+	DropRate float64
+	// DropBurst makes drops bursty: each drop decision discards this
+	// many consecutive requests (default 1, i.e. independent drops).
+	DropBurst int
+	// DupRate is the probability an ingress request is duplicated, as
+	// a retransmitting network would.
+	DupRate float64
+	// StallWorker selects the worker whose every request is delayed by
+	// StallDuration before execution; -1 (or StallDuration == 0)
+	// disables stalls.
+	StallWorker int
+	// StallDuration is the injected pre-execution delay on StallWorker.
+	StallDuration time.Duration
+	// SlowWorker selects the worker whose service times are inflated
+	// by SlowFactor; -1 (or SlowFactor <= 1) disables slowdowns.
+	SlowWorker int
+	// SlowFactor multiplies SlowWorker's service time: after executing
+	// a request that took s, the worker sleeps an extra s*(SlowFactor-1).
+	SlowFactor float64
+	// CrashRate is the per-request probability that the executing
+	// worker crashes: the request is answered with a drop status, the
+	// worker goroutine exits, and a replacement respawns after
+	// RespawnDelay.
+	CrashRate float64
+	// RespawnDelay is how long a crashed worker stays dead.
+	RespawnDelay time.Duration
+	// ReservationDelay postpones DARC reservation updates: once an
+	// update becomes due, it is held back this long before it may
+	// install (a laggy control plane).
+	ReservationDelay time.Duration
+}
+
+// Enabled reports whether the profile injects anything at all.
+func (p Profile) Enabled() bool {
+	return p.DropRate > 0 || p.DupRate > 0 || p.CrashRate > 0 ||
+		(p.StallDuration > 0 && p.StallWorker >= 0) ||
+		(p.SlowFactor > 1 && p.SlowWorker >= 0) ||
+		p.ReservationDelay > 0
+}
+
+// Validate rejects out-of-range rates and magnitudes.
+func (p Profile) Validate() error {
+	check := func(name string, rate float64) error {
+		if rate < 0 || rate > 1 {
+			return fmt.Errorf("faults: %s %g outside [0, 1]", name, rate)
+		}
+		return nil
+	}
+	if err := check("drop rate", p.DropRate); err != nil {
+		return err
+	}
+	if err := check("duplication rate", p.DupRate); err != nil {
+		return err
+	}
+	if err := check("crash rate", p.CrashRate); err != nil {
+		return err
+	}
+	if p.DropBurst < 0 {
+		return fmt.Errorf("faults: negative drop burst %d", p.DropBurst)
+	}
+	if p.StallWorker < -1 || p.SlowWorker < -1 {
+		return fmt.Errorf("faults: worker index below -1")
+	}
+	if p.StallDuration < 0 || p.RespawnDelay < 0 || p.ReservationDelay < 0 {
+		return fmt.Errorf("faults: negative duration")
+	}
+	if p.SlowFactor < 0 {
+		return fmt.Errorf("faults: negative slow factor %g", p.SlowFactor)
+	}
+	return nil
+}
+
+// ParseProfile decodes the compact comma-separated spec used by CLI
+// flags, e.g.
+//
+//	seed=42,drop=0.1,burst=4,dup=0.01,stall=0:5ms,slow=1:2.5,crash=0.001,respawn=10ms,resdelay=5ms
+//
+// Unset keys keep their inert defaults; the empty string is the empty
+// (disabled) profile.
+func ParseProfile(s string) (Profile, error) {
+	p := Profile{StallWorker: -1, SlowWorker: -1, DropBurst: 1}
+	s = strings.TrimSpace(s)
+	if s == "" || s == "off" {
+		return p, nil
+	}
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return p, fmt.Errorf("faults: %q is not key=value", field)
+		}
+		key = strings.ToLower(strings.TrimSpace(key))
+		val = strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "seed":
+			p.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "drop":
+			p.DropRate, err = parseRate(val)
+		case "burst":
+			p.DropBurst, err = strconv.Atoi(val)
+		case "dup":
+			p.DupRate, err = parseRate(val)
+		case "stall":
+			p.StallWorker, p.StallDuration, err = parseWorkerDuration(val)
+		case "slow":
+			p.SlowWorker, p.SlowFactor, err = parseWorkerFactor(val)
+		case "crash":
+			p.CrashRate, err = parseRate(val)
+		case "respawn":
+			p.RespawnDelay, err = time.ParseDuration(val)
+		case "resdelay":
+			p.ReservationDelay, err = time.ParseDuration(val)
+		default:
+			return p, fmt.Errorf("faults: unknown key %q", key)
+		}
+		if err != nil {
+			return p, fmt.Errorf("faults: bad value for %q: %v", key, err)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return p, err
+	}
+	// Canonicalize inert combinations so String round-trips: a fault
+	// aimed at worker -1 or with no magnitude is the same as unset.
+	if p.DropBurst < 1 {
+		p.DropBurst = 1
+	}
+	if p.StallWorker < 0 || p.StallDuration == 0 {
+		p.StallWorker, p.StallDuration = -1, 0
+	}
+	if p.SlowWorker < 0 || p.SlowFactor <= 1 {
+		p.SlowWorker, p.SlowFactor = -1, 0
+	}
+	return p, nil
+}
+
+func parseRate(val string) (float64, error) {
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	if f < 0 || f > 1 {
+		return 0, fmt.Errorf("rate %g outside [0, 1]", f)
+	}
+	return f, nil
+}
+
+func parseWorkerDuration(val string) (int, time.Duration, error) {
+	ws, ds, ok := strings.Cut(val, ":")
+	if !ok {
+		return -1, 0, fmt.Errorf("want worker:duration, got %q", val)
+	}
+	w, err := strconv.Atoi(ws)
+	if err != nil {
+		return -1, 0, err
+	}
+	d, err := time.ParseDuration(ds)
+	if err != nil {
+		return -1, 0, err
+	}
+	return w, d, nil
+}
+
+func parseWorkerFactor(val string) (int, float64, error) {
+	ws, fs, ok := strings.Cut(val, ":")
+	if !ok {
+		return -1, 0, fmt.Errorf("want worker:factor, got %q", val)
+	}
+	w, err := strconv.Atoi(ws)
+	if err != nil {
+		return -1, 0, err
+	}
+	f, err := strconv.ParseFloat(fs, 64)
+	if err != nil {
+		return -1, 0, err
+	}
+	return w, f, nil
+}
+
+// String renders the profile in ParseProfile's format, emitting only
+// non-default fields in a canonical key order; ParseProfile(p.String())
+// reproduces p.
+func (p Profile) String() string {
+	type kv struct {
+		order int
+		s     string
+	}
+	var parts []kv
+	add := func(order int, s string) { parts = append(parts, kv{order, s}) }
+	if p.Seed != 0 {
+		add(0, fmt.Sprintf("seed=%d", p.Seed))
+	}
+	if p.DropRate != 0 {
+		add(1, "drop="+strconv.FormatFloat(p.DropRate, 'g', -1, 64))
+	}
+	if p.DropBurst > 1 {
+		add(2, fmt.Sprintf("burst=%d", p.DropBurst))
+	}
+	if p.DupRate != 0 {
+		add(3, "dup="+strconv.FormatFloat(p.DupRate, 'g', -1, 64))
+	}
+	if p.StallWorker >= 0 && p.StallDuration != 0 {
+		add(4, fmt.Sprintf("stall=%d:%s", p.StallWorker, p.StallDuration))
+	}
+	if p.SlowWorker >= 0 && p.SlowFactor != 0 {
+		add(5, fmt.Sprintf("slow=%d:%s", p.SlowWorker, strconv.FormatFloat(p.SlowFactor, 'g', -1, 64)))
+	}
+	if p.CrashRate != 0 {
+		add(6, "crash="+strconv.FormatFloat(p.CrashRate, 'g', -1, 64))
+	}
+	if p.RespawnDelay != 0 {
+		add(7, "respawn="+p.RespawnDelay.String())
+	}
+	if p.ReservationDelay != 0 {
+		add(8, "resdelay="+p.ReservationDelay.String())
+	}
+	if len(parts) == 0 {
+		return "off"
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i].order < parts[j].order })
+	ss := make([]string, len(parts))
+	for i, part := range parts {
+		ss[i] = part.s
+	}
+	return strings.Join(ss, ",")
+}
+
+// Counts is a snapshot of injected faults by kind.
+type Counts struct {
+	Drops     uint64
+	Dups      uint64
+	Stalls    uint64
+	Slowdowns uint64
+	Crashes   uint64
+}
+
+// Total sums all injected faults.
+func (c Counts) Total() uint64 {
+	return c.Drops + c.Dups + c.Stalls + c.Slowdowns + c.Crashes
+}
+
+// Injector makes the runtime injection decisions for one Profile. All
+// methods are safe on a nil receiver (they inject nothing), so hook
+// points need no nil checks, and safe for concurrent use.
+type Injector struct {
+	prof Profile
+
+	mu        sync.Mutex // guards the ingress streams and burst state
+	dropRNG   *rng.RNG
+	dupRNG    *rng.RNG
+	burstLeft int
+
+	workers []workerStream
+
+	drops     atomic.Uint64
+	dups      atomic.Uint64
+	stalls    atomic.Uint64
+	slowdowns atomic.Uint64
+	crashes   atomic.Uint64
+}
+
+// workerStream is one worker's private decision stream. Worker
+// goroutines are sequential per slot (a respawn starts only after the
+// crash), but the mutex keeps the injector safe under any caller.
+type workerStream struct {
+	mu  sync.Mutex
+	rng *rng.RNG
+}
+
+// New builds an injector for a validated profile and a worker count.
+// Worker-targeted faults aimed at indexes outside [0, workers) never
+// fire.
+func New(p Profile, workers int) *Injector {
+	if p.DropBurst <= 0 {
+		p.DropBurst = 1
+	}
+	base := rng.New(p.Seed)
+	inj := &Injector{
+		prof:    p,
+		dropRNG: base.Split(),
+		dupRNG:  base.Split(),
+		workers: make([]workerStream, max(workers, 0)),
+	}
+	for i := range inj.workers {
+		inj.workers[i].rng = base.Split()
+	}
+	return inj
+}
+
+// Profile returns the profile the injector was built from.
+func (i *Injector) Profile() Profile {
+	if i == nil {
+		return Profile{StallWorker: -1, SlowWorker: -1}
+	}
+	return i.prof
+}
+
+// IngressDrop decides whether to discard the next ingress request.
+func (i *Injector) IngressDrop() bool {
+	if i == nil || i.prof.DropRate <= 0 {
+		return false
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.burstLeft > 0 {
+		i.burstLeft--
+		i.drops.Add(1)
+		return true
+	}
+	if i.dropRNG.Float64() < i.prof.DropRate {
+		i.burstLeft = i.prof.DropBurst - 1
+		i.drops.Add(1)
+		return true
+	}
+	return false
+}
+
+// IngressDup decides whether to duplicate the next ingress request.
+func (i *Injector) IngressDup() bool {
+	if i == nil || i.prof.DupRate <= 0 {
+		return false
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.dupRNG.Float64() < i.prof.DupRate {
+		i.dups.Add(1)
+		return true
+	}
+	return false
+}
+
+// WorkerStall reports the pre-execution delay to inject on worker w
+// for its next request (0 means none).
+func (i *Injector) WorkerStall(w int) time.Duration {
+	if i == nil || i.prof.StallDuration <= 0 || w != i.prof.StallWorker {
+		return 0
+	}
+	i.stalls.Add(1)
+	return i.prof.StallDuration
+}
+
+// WorkerSlowdown reports the extra service time to inject on worker w
+// after a request that took service (0 means none).
+func (i *Injector) WorkerSlowdown(w int, service time.Duration) time.Duration {
+	if i == nil || i.prof.SlowFactor <= 1 || w != i.prof.SlowWorker {
+		return 0
+	}
+	extra := time.Duration(float64(service) * (i.prof.SlowFactor - 1))
+	if extra <= 0 {
+		return 0
+	}
+	i.slowdowns.Add(1)
+	return extra
+}
+
+// WorkerCrash decides whether worker w crashes on its next request.
+func (i *Injector) WorkerCrash(w int) bool {
+	if i == nil || i.prof.CrashRate <= 0 || w < 0 || w >= len(i.workers) {
+		return false
+	}
+	ws := &i.workers[w]
+	ws.mu.Lock()
+	hit := ws.rng.Float64() < i.prof.CrashRate
+	ws.mu.Unlock()
+	if hit {
+		i.crashes.Add(1)
+	}
+	return hit
+}
+
+// RespawnDelay reports how long a crashed worker stays down.
+func (i *Injector) RespawnDelay() time.Duration {
+	if i == nil {
+		return 0
+	}
+	return i.prof.RespawnDelay
+}
+
+// ReservationDelay reports the injected lag on DARC reservation
+// updates (0 means updates install immediately).
+func (i *Injector) ReservationDelay() time.Duration {
+	if i == nil {
+		return 0
+	}
+	return i.prof.ReservationDelay
+}
+
+// Counts snapshots the injected-fault counters.
+func (i *Injector) Counts() Counts {
+	if i == nil {
+		return Counts{}
+	}
+	return Counts{
+		Drops:     i.drops.Load(),
+		Dups:      i.dups.Load(),
+		Stalls:    i.stalls.Load(),
+		Slowdowns: i.slowdowns.Load(),
+		Crashes:   i.crashes.Load(),
+	}
+}
+
+// Total reports all faults injected so far.
+func (i *Injector) Total() uint64 { return i.Counts().Total() }

@@ -1,0 +1,249 @@
+package faults
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestParseProfileRoundTrip(t *testing.T) {
+	spec := "seed=42,drop=0.1,burst=4,dup=0.01,stall=0:5ms,slow=1:2.5,crash=0.001,respawn=10ms,resdelay=5ms"
+	p, err := ParseProfile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Profile{
+		Seed:             42,
+		DropRate:         0.1,
+		DropBurst:        4,
+		DupRate:          0.01,
+		StallWorker:      0,
+		StallDuration:    5 * time.Millisecond,
+		SlowWorker:       1,
+		SlowFactor:       2.5,
+		CrashRate:        0.001,
+		RespawnDelay:     10 * time.Millisecond,
+		ReservationDelay: 5 * time.Millisecond,
+	}
+	if p != want {
+		t.Fatalf("parsed %+v, want %+v", p, want)
+	}
+	back, err := ParseProfile(p.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", p.String(), err)
+	}
+	if back != p {
+		t.Fatalf("round trip %+v != %+v via %q", back, p, p.String())
+	}
+}
+
+func TestParseProfileEmpty(t *testing.T) {
+	for _, s := range []string{"", "  ", "off"} {
+		p, err := ParseProfile(s)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if p.Enabled() {
+			t.Fatalf("%q parsed to enabled profile %+v", s, p)
+		}
+		if p.String() != "off" {
+			t.Fatalf("empty profile renders %q", p.String())
+		}
+	}
+}
+
+func TestParseProfileErrors(t *testing.T) {
+	for _, s := range []string{
+		"drop",           // not key=value
+		"drop=2",         // rate out of range
+		"drop=-0.5",      // negative rate
+		"dup=x",          // not a number
+		"stall=5ms",      // missing worker
+		"stall=a:5ms",    // bad worker
+		"stall=0:zzz",    // bad duration
+		"slow=0",         // missing factor
+		"crash=1.5",      // rate out of range
+		"burst=-2",       // negative burst
+		"respawn=-5ms",   // negative duration
+		"seed=-1",        // negative seed
+		"mystery=1",      // unknown key
+		"resdelay=5eons", // bad duration
+	} {
+		if _, err := ParseProfile(s); err == nil {
+			t.Errorf("spec %q accepted", s)
+		}
+	}
+}
+
+func TestZeroValueProfileIsInert(t *testing.T) {
+	// A zero Profile must not target worker 0 with stalls/slowdowns.
+	inj := New(Profile{}, 4)
+	if inj.Profile().Enabled() {
+		t.Fatal("zero profile enabled")
+	}
+	if d := inj.WorkerStall(0); d != 0 {
+		t.Fatalf("zero profile stalls worker 0 by %v", d)
+	}
+	if d := inj.WorkerSlowdown(0, time.Millisecond); d != 0 {
+		t.Fatalf("zero profile slows worker 0 by %v", d)
+	}
+	if inj.WorkerCrash(0) || inj.IngressDrop() || inj.IngressDup() {
+		t.Fatal("zero profile injected a fault")
+	}
+	if inj.Total() != 0 {
+		t.Fatalf("counters moved: %+v", inj.Counts())
+	}
+}
+
+func TestNilInjectorSafe(t *testing.T) {
+	var inj *Injector
+	if inj.IngressDrop() || inj.IngressDup() || inj.WorkerCrash(0) {
+		t.Fatal("nil injector injected")
+	}
+	if inj.WorkerStall(0) != 0 || inj.WorkerSlowdown(0, time.Second) != 0 {
+		t.Fatal("nil injector delayed")
+	}
+	if inj.RespawnDelay() != 0 || inj.ReservationDelay() != 0 {
+		t.Fatal("nil injector produced durations")
+	}
+	if inj.Total() != 0 {
+		t.Fatal("nil injector counted")
+	}
+}
+
+// TestInjectorDeterministic is the determinism property: two injectors
+// built from the same profile make the identical decision sequence at
+// every hook point.
+func TestInjectorDeterministic(t *testing.T) {
+	prof := Profile{
+		Seed:        99,
+		DropRate:    0.2,
+		DropBurst:   3,
+		DupRate:     0.05,
+		CrashRate:   0.01,
+		StallWorker: 1, StallDuration: time.Millisecond,
+		SlowWorker: 2, SlowFactor: 2,
+	}
+	a, b := New(prof, 4), New(prof, 4)
+	for i := 0; i < 10000; i++ {
+		if got, want := a.IngressDrop(), b.IngressDrop(); got != want {
+			t.Fatalf("drop decision %d diverged: %v vs %v", i, got, want)
+		}
+		if got, want := a.IngressDup(), b.IngressDup(); got != want {
+			t.Fatalf("dup decision %d diverged", i)
+		}
+		w := i % 4
+		if got, want := a.WorkerCrash(w), b.WorkerCrash(w); got != want {
+			t.Fatalf("crash decision %d (worker %d) diverged", i, w)
+		}
+	}
+	if a.Counts() != b.Counts() {
+		t.Fatalf("counters diverged: %+v vs %+v", a.Counts(), b.Counts())
+	}
+}
+
+// TestInjectorStreamsIndependent checks that interleaving calls at one
+// hook point does not perturb another site's sequence.
+func TestInjectorStreamsIndependent(t *testing.T) {
+	prof := Profile{Seed: 7, DropRate: 0.3, DupRate: 0.3}
+	a, b := New(prof, 0), New(prof, 0)
+	var seqA, seqB []bool
+	for i := 0; i < 2000; i++ {
+		// a interleaves dup draws between drops; b does not.
+		seqA = append(seqA, a.IngressDrop())
+		a.IngressDup()
+		seqB = append(seqB, b.IngressDrop())
+	}
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("drop sequence perturbed by dup draws at %d", i)
+		}
+	}
+}
+
+// TestInjectionRate asserts the injector injects within ±1% of the
+// configured rate over 1e6 trials (fixed seed, so not flaky).
+func TestInjectionRate(t *testing.T) {
+	const trials = 1_000_000
+	for _, rate := range []float64{0.01, 0.1, 0.5} {
+		inj := New(Profile{Seed: 1234, DropRate: rate, DropBurst: 1}, 0)
+		hits := 0
+		for i := 0; i < trials; i++ {
+			if inj.IngressDrop() {
+				hits++
+			}
+		}
+		got := float64(hits) / trials
+		if math.Abs(got-rate) > rate*0.01+1e-4 {
+			t.Errorf("rate %g: injected %g over %d trials", rate, got, trials)
+		}
+		if inj.Counts().Drops != uint64(hits) {
+			t.Errorf("rate %g: counter %d != hits %d", rate, inj.Counts().Drops, hits)
+		}
+	}
+}
+
+func TestDropBurst(t *testing.T) {
+	inj := New(Profile{Seed: 5, DropRate: 0.05, DropBurst: 4}, 0)
+	// Every drop event must discard exactly 4 consecutive requests.
+	run := 0
+	for i := 0; i < 100000; i++ {
+		if inj.IngressDrop() {
+			run++
+			continue
+		}
+		if run > 0 && run%4 != 0 {
+			t.Fatalf("burst of %d at trial %d, want multiples of 4", run, i)
+		}
+		run = 0
+	}
+	if inj.Counts().Drops == 0 {
+		t.Fatal("no drops at 5% over 100k trials")
+	}
+}
+
+func TestWorkerTargetedFaults(t *testing.T) {
+	prof := Profile{Seed: 3, StallWorker: 1, StallDuration: 2 * time.Millisecond, SlowWorker: 2, SlowFactor: 3}
+	inj := New(prof, 3)
+	if d := inj.WorkerStall(0); d != 0 {
+		t.Fatalf("worker 0 stalled %v", d)
+	}
+	if d := inj.WorkerStall(1); d != 2*time.Millisecond {
+		t.Fatalf("worker 1 stall %v", d)
+	}
+	if d := inj.WorkerSlowdown(2, time.Millisecond); d != 2*time.Millisecond {
+		t.Fatalf("worker 2 slowdown %v, want 2ms", d)
+	}
+	if c := inj.Counts(); c.Stalls != 1 || c.Slowdowns != 1 {
+		t.Fatalf("counts %+v", c)
+	}
+	// Crash aimed outside the worker range never fires.
+	out := New(Profile{Seed: 3, CrashRate: 1}, 2)
+	if out.WorkerCrash(5) {
+		t.Fatal("crash fired for out-of-range worker")
+	}
+	if !out.WorkerCrash(1) {
+		t.Fatal("crash rate 1 did not fire for in-range worker")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Profile{
+		{DropRate: 1.5},
+		{DupRate: -0.1},
+		{CrashRate: 2},
+		{DropBurst: -1},
+		{StallWorker: -2},
+		{StallDuration: -time.Second},
+		{SlowFactor: -1},
+		{ReservationDelay: -time.Millisecond},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d (%+v) accepted", i, p)
+		}
+	}
+	if err := (Profile{DropRate: 0.5, DropBurst: 2, SlowFactor: 2}).Validate(); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+}

@@ -1,0 +1,35 @@
+package faults
+
+import "testing"
+
+// FuzzParseProfile asserts the profile parser never panics on
+// arbitrary specs and that any profile it accepts round-trips through
+// String back to the identical profile.
+func FuzzParseProfile(f *testing.F) {
+	f.Add("")
+	f.Add("off")
+	f.Add("drop=0.1")
+	f.Add("seed=42,drop=0.1,burst=4,dup=0.01,stall=0:5ms,slow=1:2.5,crash=0.001,respawn=10ms,resdelay=5ms")
+	f.Add("stall=3:1h2m3s")
+	f.Add("drop=1e-3,dup=0.999999")
+	f.Add("drop=0.1,drop=0.2")
+	f.Add(",,,")
+	f.Add("DROP=0.5")
+	f.Add("slow=-1:2")
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParseProfile(spec)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("parser accepted invalid profile %+v: %v", p, verr)
+		}
+		back, err := ParseProfile(p.String())
+		if err != nil {
+			t.Fatalf("accepted profile %+v did not reparse from %q: %v", p, p.String(), err)
+		}
+		if back != p {
+			t.Fatalf("round trip changed profile: %+v -> %q -> %+v", p, p.String(), back)
+		}
+	})
+}

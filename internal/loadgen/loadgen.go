@@ -37,6 +37,23 @@ type Config struct {
 	// Timeout bounds how long to wait for stragglers after the last
 	// send (default 2s).
 	Timeout time.Duration
+	// RequestTimeout bounds the wait for each individual response.
+	// RunUDP retransmits an unanswered request after this long (up to
+	// MaxRetries times) and finally records it as timed out; RunInProcess
+	// stops waiting and records a timeout. 0 disables per-request
+	// timeouts: unanswered requests are still recorded as TimedOut when
+	// the final drain gives up on them.
+	RequestTimeout time.Duration
+	// MaxRetries caps retransmissions per request (default 0: a request
+	// is sent once and expires after RequestTimeout).
+	MaxRetries int
+	// RetryBackoff is the extra wait added to RequestTimeout before a
+	// retransmission; it doubles per attempt and is jittered to avoid
+	// synchronized retry storms (default 1ms when retries are enabled).
+	RetryBackoff time.Duration
+	// RetryBackoffMax caps the exponential backoff growth (default
+	// 64x RetryBackoff).
+	RetryBackoffMax time.Duration
 }
 
 func (c *Config) fill() error {
@@ -59,18 +76,50 @@ func (c *Config) fill() error {
 	if c.Timeout <= 0 {
 		c.Timeout = 2 * time.Second
 	}
+	if c.RequestTimeout < 0 || c.MaxRetries < 0 || c.RetryBackoff < 0 || c.RetryBackoffMax < 0 {
+		return errors.New("loadgen: negative retry configuration")
+	}
+	if c.MaxRetries > 0 && c.RequestTimeout == 0 {
+		return errors.New("loadgen: MaxRetries needs a RequestTimeout")
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = time.Millisecond
+	}
+	if c.RetryBackoffMax == 0 {
+		c.RetryBackoffMax = 64 * c.RetryBackoff
+	}
 	return nil
 }
 
-// Result aggregates one run.
+// backoffFor computes the capped exponential backoff before
+// retransmission number attempt (1-based), jittered into
+// [backoff/2, backoff) so synchronized clients desynchronize.
+func (c *Config) backoffFor(attempt int, jitter float64) time.Duration {
+	b := c.RetryBackoff
+	for i := 1; i < attempt && b < c.RetryBackoffMax; i++ {
+		b *= 2
+	}
+	if b > c.RetryBackoffMax {
+		b = c.RetryBackoffMax
+	}
+	return b/2 + time.Duration(jitter*float64(b/2))
+}
+
+// Result aggregates one run. Every sent request has exactly one
+// recorded outcome: Received, Dropped, or TimedOut (retries are extra
+// transmissions of the same request, not new requests).
 type Result struct {
 	Sent     uint64
 	Received uint64
 	Dropped  uint64 // responses with a drop status
+	TimedOut uint64 // requests that never received any response
+	Retries  uint64 // retransmissions of already-sent requests
 	Errors   uint64 // submissions rejected (backpressure)
 	Elapsed  time.Duration
 	// Latency holds client-observed latency per type index, plus an
-	// aggregate in Overall.
+	// aggregate in Overall. Latency is measured from the FIRST
+	// transmission of a request, so retries lengthen the recorded
+	// latency instead of resetting it.
 	Latency []*metrics.Histogram
 	Overall *metrics.Histogram
 }
@@ -81,6 +130,12 @@ func (r *Result) AchievedRate() float64 {
 		return 0
 	}
 	return float64(r.Received) / r.Elapsed.Seconds()
+}
+
+// Unaccounted reports sent requests with no recorded outcome; a
+// correct run is always 0.
+func (r *Result) Unaccounted() int64 {
+	return int64(r.Sent) - int64(r.Received) - int64(r.Dropped) - int64(r.TimedOut)
 }
 
 func newResult(types int) *Result {
@@ -97,10 +152,11 @@ func RunInProcess(srv *psp.Server, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	r := rng.New(cfg.Seed)
+	jitterRNG := r.Split()
 	res := newResult(len(cfg.Mix.Types))
-	var mu sync.Mutex
+	var mu sync.Mutex // guards the histograms and jitterRNG
 	var wg sync.WaitGroup
-	var sent, received, dropped, errs atomic.Uint64
+	var sent, received, dropped, timedOut, retries, errs atomic.Uint64
 
 	start := time.Now()
 	next := start
@@ -121,25 +177,60 @@ func RunInProcess(srv *psp.Server, cfg Config) (*Result, error) {
 		}
 		sent.Add(1)
 		wg.Add(1)
-		go func(typ int, t0 time.Time) {
+		go func(typ int, t0 time.Time, payload []byte, ch <-chan psp.Response) {
 			defer wg.Done()
-			resp := <-ch
-			lat := time.Since(t0)
-			if resp.Status != 0 {
-				dropped.Add(1)
+			attempt := 0
+			for {
+				var resp psp.Response
+				if cfg.RequestTimeout > 0 {
+					select {
+					case resp = <-ch:
+					case <-time.After(cfg.RequestTimeout):
+						timedOut.Add(1)
+						return
+					}
+				} else {
+					resp = <-ch
+				}
+				if resp.Status != 0 {
+					// Shed by flow control or a crashed worker: back off
+					// and resubmit, up to the retry budget.
+					if attempt >= cfg.MaxRetries {
+						dropped.Add(1)
+						return
+					}
+					attempt++
+					retries.Add(1)
+					mu.Lock()
+					j := jitterRNG.Float64()
+					mu.Unlock()
+					time.Sleep(cfg.backoffFor(attempt, j))
+					rch, err := srv.Submit(payload)
+					if err != nil {
+						dropped.Add(1)
+						return
+					}
+					ch = rch
+					continue
+				}
+				// Latency runs from the first submission, so retried
+				// requests carry their full cost.
+				lat := time.Since(t0)
+				received.Add(1)
+				mu.Lock()
+				res.Latency[typ].RecordDuration(lat)
+				res.Overall.RecordDuration(lat)
+				mu.Unlock()
 				return
 			}
-			received.Add(1)
-			mu.Lock()
-			res.Latency[typ].RecordDuration(lat)
-			res.Overall.RecordDuration(lat)
-			mu.Unlock()
-		}(typ, t0)
+		}(typ, t0, payload, ch)
 	}
 	waitTimeout(&wg, cfg.Timeout)
 	res.Sent = sent.Load()
 	res.Received = received.Load()
 	res.Dropped = dropped.Load()
+	res.TimedOut = timedOut.Load()
+	res.Retries = retries.Load()
 	res.Errors = errs.Load()
 	res.Elapsed = time.Since(start)
 	return res, nil
@@ -173,7 +264,7 @@ func waitTimeout(wg *sync.WaitGroup, d time.Duration) bool {
 
 // String summarises a result for logs.
 func (r *Result) String() string {
-	return fmt.Sprintf("loadgen{sent=%d recv=%d drop=%d err=%d rate=%.0f/s p99=%v}",
-		r.Sent, r.Received, r.Dropped, r.Errors, r.AchievedRate(),
+	return fmt.Sprintf("loadgen{sent=%d recv=%d drop=%d timeout=%d retry=%d err=%d rate=%.0f/s p99=%v}",
+		r.Sent, r.Received, r.Dropped, r.TimedOut, r.Retries, r.Errors, r.AchievedRate(),
 		r.Overall.QuantileDuration(0.99))
 }

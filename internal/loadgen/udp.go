@@ -12,7 +12,14 @@ import (
 
 // RunUDP generates load against a UDP Perséphone server, matching
 // responses to requests by RequestID — the shape of the paper's C++
-// open-loop client.
+// open-loop client, extended with per-request timeouts and capped,
+// jittered exponential-backoff retransmission for lossy paths.
+//
+// Each request has exactly one recorded outcome: a latency sample
+// (measured from the first transmission, so retries do not reset the
+// clock), a drop (the server answered with a drop status), or a
+// timeout (no response within RequestTimeout across 1+MaxRetries
+// transmissions, or still unanswered when the final drain gives up).
 func RunUDP(serverAddr string, cfg Config) (*Result, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
@@ -28,12 +35,15 @@ func RunUDP(serverAddr string, cfg Config) (*Result, error) {
 	defer conn.Close()
 
 	r := rng.New(cfg.Seed)
+	jitterRNG := r.Split()
 	res := newResult(len(cfg.Mix.Types))
 	var mu sync.Mutex
-	inflight := make(map[uint64]sendRecord)
-	var received, dropped atomic.Uint64
+	inflight := make(map[uint64]*pendingReq)
+	var received, dropped, timedOut, retries atomic.Uint64
 
-	// Receiver: match responses to sends.
+	// Receiver: match responses to sends. Responses to requests
+	// already expired (or duplicate responses) find no record and are
+	// ignored, so nothing is double counted.
 	recvDone := make(chan struct{})
 	go func() {
 		defer close(recvDone)
@@ -60,7 +70,7 @@ func RunUDP(serverAddr string, cfg Config) (*Result, error) {
 				dropped.Add(1)
 				continue
 			}
-			lat := time.Since(rec.sent)
+			lat := time.Since(rec.firstSent)
 			received.Add(1)
 			mu.Lock()
 			res.Latency[rec.typ].RecordDuration(lat)
@@ -68,6 +78,59 @@ func RunUDP(serverAddr string, cfg Config) (*Result, error) {
 			mu.Unlock()
 		}
 	}()
+
+	// Retransmitter: expire or re-send requests whose deadline passed.
+	// Only runs when per-request timeouts are configured.
+	retryStop := make(chan struct{})
+	retryDone := make(chan struct{})
+	if cfg.RequestTimeout > 0 {
+		go func() {
+			defer close(retryDone)
+			tick := cfg.RequestTimeout / 4
+			if tick > 5*time.Millisecond {
+				tick = 5 * time.Millisecond
+			}
+			if tick < 200*time.Microsecond {
+				tick = 200 * time.Microsecond
+			}
+			ticker := time.NewTicker(tick)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-retryStop:
+					return
+				case <-ticker.C:
+				}
+				now := time.Now()
+				var resend [][]byte
+				mu.Lock()
+				for id, rec := range inflight {
+					if now.Before(rec.deadline) {
+						continue
+					}
+					if rec.attempts >= cfg.MaxRetries {
+						delete(inflight, id)
+						timedOut.Add(1)
+						continue
+					}
+					rec.attempts++
+					// The request header's status byte carries the
+					// attempt number so the server can count retries.
+					rec.msg[3] = byte(rec.attempts)
+					backoff := cfg.backoffFor(rec.attempts, jitterRNG.Float64())
+					rec.deadline = now.Add(cfg.RequestTimeout + backoff)
+					resend = append(resend, rec.msg)
+				}
+				mu.Unlock()
+				for _, msg := range resend {
+					conn.Write(msg) //nolint:errcheck // fire-and-forget UDP
+					retries.Add(1)
+				}
+			}
+		}()
+	} else {
+		close(retryDone)
+	}
 
 	start := time.Now()
 	next := start
@@ -85,8 +148,13 @@ func RunUDP(serverAddr string, cfg Config) (*Result, error) {
 			Kind:      proto.KindRequest,
 			RequestID: id,
 		}, cfg.BuildPayload(typ))
+		now := time.Now()
+		rec := &pendingReq{typ: typ, firstSent: now, msg: msg}
+		if cfg.RequestTimeout > 0 {
+			rec.deadline = now.Add(cfg.RequestTimeout)
+		}
 		mu.Lock()
-		inflight[id] = sendRecord{typ: typ, sent: time.Now()}
+		inflight[id] = rec
 		mu.Unlock()
 		if _, err := conn.Write(msg); err != nil {
 			mu.Lock()
@@ -97,7 +165,8 @@ func RunUDP(serverAddr string, cfg Config) (*Result, error) {
 		sent++
 	}
 
-	// Grace period for stragglers, then unblock the receiver.
+	// Grace period for stragglers (retransmission keeps running), then
+	// unblock the receiver.
 	deadline := time.Now().Add(cfg.Timeout)
 	for time.Now().Before(deadline) {
 		mu.Lock()
@@ -108,20 +177,31 @@ func RunUDP(serverAddr string, cfg Config) (*Result, error) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
+	close(retryStop)
+	<-retryDone
 	conn.SetReadDeadline(time.Now()) //nolint:errcheck
 	<-recvDone
 
+	// Whatever is still unanswered is a loss, recorded explicitly so it
+	// cannot silently skew achieved-rate or quantile statistics.
 	mu.Lock()
 	lost := len(inflight)
 	mu.Unlock()
 	res.Sent = sent
 	res.Received = received.Load()
-	res.Dropped = dropped.Load() + uint64(lost)
+	res.Dropped = dropped.Load()
+	res.TimedOut = timedOut.Load() + uint64(lost)
+	res.Retries = retries.Load()
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
 
-type sendRecord struct {
-	typ  int
-	sent time.Time
+// pendingReq tracks one unanswered request: its encoded message,
+// first-send time for retry-aware latency, and retransmission state.
+type pendingReq struct {
+	typ       int
+	firstSent time.Time
+	attempts  int
+	deadline  time.Time
+	msg       []byte
 }

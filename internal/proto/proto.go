@@ -27,7 +27,10 @@ const (
 	KindResponse Kind = 2
 )
 
-// Status reports the server-side outcome in responses.
+// Status reports the server-side outcome in responses. In requests
+// the same header byte is repurposed as the retry attempt number: 0
+// for the first transmission, n for the n-th retransmission. Servers
+// use it to count client retries; it does not affect scheduling.
 type Status uint8
 
 const (

@@ -1,0 +1,270 @@
+package psp_test
+
+// End-to-end chaos tests: the live runtime under a seeded fault
+// profile (ISSUE: 10% ingress drop + one stalled worker), driven over
+// real UDP by the retrying open-loop client. They assert the system
+// neither deadlocks nor loses requests — every submitted request ends
+// as a completion, an explicit drop, or an explicit timeout — and that
+// DARC's short-request tail survives the faults better than c-FCFS
+// (the paper's §5 shape claim).
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/darc"
+	"repro/internal/faults"
+	"repro/internal/loadgen"
+	"repro/internal/proto"
+	"repro/internal/psp"
+	"repro/internal/spin"
+	"repro/internal/workload"
+)
+
+// chaosProfile is the ISSUE's scenario: 10% packet drop plus one
+// stalled worker.
+func chaosProfile() *faults.Profile {
+	return &faults.Profile{
+		Seed:          7,
+		DropRate:      0.10,
+		StallWorker:   2,
+		StallDuration: 200 * time.Microsecond,
+	}
+}
+
+// runChaos drives one server under the chaos profile and returns the
+// client result plus server stats. Service times are slept, not spun:
+// CI machines may expose a single CPU, and sleeping workers still
+// overlap there, so the DARC-vs-FCFS comparison measures scheduling
+// rather than host-core contention. A watchdog converts a hang into a
+// test failure instead of a suite timeout.
+func runChaos(t *testing.T, mode psp.Mode) (*loadgen.Result, psp.Stats) {
+	t.Helper()
+
+	const shortSvc, longSvc = 500 * time.Microsecond, 20 * time.Millisecond
+	dcfg := darc.DefaultConfig(3)
+	dcfg.MinWindowSamples = 64
+	srv, err := psp.NewServer(psp.Config{
+		Workers:    3,
+		Classifier: classify.Field{Offset: 0, Types: 2},
+		Handler: psp.HandlerFunc(func(typ int, p, r []byte) (int, proto.Status) {
+			if typ == 0 {
+				time.Sleep(shortSvc)
+			} else {
+				time.Sleep(longSvc)
+			}
+			return copy(r, p), proto.StatusOK
+		}),
+		Mode:   mode,
+		DARC:   dcfg,
+		Faults: chaosProfile(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := psp.ListenUDP("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+
+	// Warm the profiler with sequential calls so DARC has installed a
+	// reservation before measured load arrives; run the same warmup in
+	// c-FCFS mode so both recorders hold identical extra samples.
+	for i := 0; i < 80; i++ {
+		typ := byte(0)
+		if i%8 == 7 {
+			typ = 1
+		}
+		if _, err := srv.Call([]byte{typ, 0, byte(i)}); err != nil {
+			t.Fatalf("warmup call %d: %v", i, err)
+		}
+	}
+	if mode == psp.ModeDARC && srv.Controller().Reservation() == nil {
+		t.Fatal("no reservation after warmup")
+	}
+
+	duration := 600 * time.Millisecond
+	if testing.Short() {
+		duration = 250 * time.Millisecond
+	}
+	type outcome struct {
+		res *loadgen.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := loadgen.RunUDP(u.Addr().String(), loadgen.Config{
+			Mix:            workload.TwoType("short", shortSvc, 0.9, "long", longSvc),
+			Rate:           500,
+			Duration:       duration,
+			Seed:           21,
+			Timeout:        3 * time.Second,
+			RequestTimeout: 150 * time.Millisecond,
+			MaxRetries:     5,
+			RetryBackoff:   2 * time.Millisecond,
+		})
+		done <- outcome{res, err}
+	}()
+	var out outcome
+	select {
+	case out = <-done:
+	case <-time.After(90 * time.Second):
+		t.Fatalf("%v chaos run deadlocked", mode)
+	}
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	st := srv.StatsSnapshot()
+	return out.res, st
+}
+
+func TestChaosNoLostCompletions(t *testing.T) {
+	for _, mode := range []psp.Mode{psp.ModeDARC, psp.ModeCFCFS} {
+		t.Run(mode.String(), func(t *testing.T) {
+			res, st := runChaos(t, mode)
+			t.Logf("%v: %v", mode, res)
+			if res.Sent == 0 {
+				t.Fatal("nothing sent")
+			}
+			// Zero unaccounted requests: completions + drops + timeouts
+			// must cover every submission.
+			if un := res.Unaccounted(); un != 0 {
+				t.Fatalf("%d requests unaccounted for: %v", un, res)
+			}
+			// Retries must recover nearly everything 10% drop took: the
+			// odds of six consecutive drops are ~1e-6.
+			if res.Received < res.Sent*9/10 {
+				t.Fatalf("received %d of %d despite retries", res.Received, res.Sent)
+			}
+			if res.Retries == 0 {
+				t.Fatal("no retries under 10% drop")
+			}
+			if st.RetriesSeen == 0 {
+				t.Fatal("server observed no retransmissions")
+			}
+			if st.FaultsInjected == 0 {
+				t.Fatal("no faults injected")
+			}
+		})
+	}
+}
+
+// TestChaosDARCBeatsCFCFSShortTail asserts the §5 shape claim survives
+// the fault profile: the short type's p99 sojourn under DARC stays
+// below c-FCFS's. Sojourn (server-side) isolates the scheduler from
+// client retransmission delay, which the drop fault inflicts on both
+// modes equally.
+func TestChaosDARCBeatsCFCFSShortTail(t *testing.T) {
+	_, darcStats := runChaos(t, psp.ModeDARC)
+	_, fcfsStats := runChaos(t, psp.ModeCFCFS)
+	darcP99 := darcStats.Summaries[0].P99
+	fcfsP99 := fcfsStats.Summaries[0].P99
+	t.Logf("short p99: DARC %v vs c-FCFS %v", darcP99, fcfsP99)
+	if darcStats.Summaries[0].Completed == 0 || fcfsStats.Summaries[0].Completed == 0 {
+		t.Fatal("no short completions recorded")
+	}
+	if darcP99 >= fcfsP99 {
+		t.Fatalf("short p99 under DARC (%v) not below c-FCFS (%v) under faults", darcP99, fcfsP99)
+	}
+}
+
+// TestChaosWorkerCrashRespawn exercises crash-then-respawn: crashed
+// workers answer their in-flight request as dropped, stay down for the
+// respawn delay, and come back; nothing hangs and every call returns.
+func TestChaosWorkerCrashRespawn(t *testing.T) {
+	srv, err := psp.NewServer(psp.Config{
+		Workers:    2,
+		Classifier: classify.Field{Offset: 0, Types: 1},
+		Handler: psp.HandlerFunc(func(typ int, p, r []byte) (int, proto.Status) {
+			return copy(r, p), proto.StatusOK
+		}),
+		DARC: func() darc.Config {
+			c := darc.DefaultConfig(2)
+			c.MinWindowSamples = 64
+			return c
+		}(),
+		Faults: &faults.Profile{Seed: 11, CrashRate: 0.05, RespawnDelay: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Stop()
+
+	const n = 400
+	ok, droppedCount := 0, 0
+	for i := 0; i < n; i++ {
+		resp, err := srv.Call([]byte{0, 0, byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch resp.Status {
+		case proto.StatusOK:
+			ok++
+		case proto.StatusDropped:
+			droppedCount++
+		default:
+			t.Fatalf("status %v", resp.Status)
+		}
+	}
+	if ok+droppedCount != n {
+		t.Fatalf("outcomes %d, want %d", ok+droppedCount, n)
+	}
+	st := srv.StatsSnapshot()
+	if st.WorkerRestarts == 0 {
+		t.Fatal("no worker restarts at 5% crash rate over 400 requests")
+	}
+	if got := srv.Injector().Counts().Crashes; got != st.WorkerRestarts {
+		t.Fatalf("restart counter %d != injected crashes %d", st.WorkerRestarts, got)
+	}
+	if droppedCount == 0 {
+		t.Fatal("crashes produced no dropped responses")
+	}
+	// The pipeline still serves after every crash.
+	resp, err := srv.Call([]byte{0, 0, 0xFF})
+	if err != nil || (resp.Status != proto.StatusOK && resp.Status != proto.StatusDropped) {
+		t.Fatalf("post-chaos call: %v %v", resp, err)
+	}
+}
+
+// TestChaosReservationDelay checks that a laggy control plane delays
+// but does not prevent DARC reservation installation.
+func TestChaosReservationDelay(t *testing.T) {
+	spin.Calibrate(10 * time.Millisecond)
+	srv, err := psp.NewServer(psp.Config{
+		Workers:    2,
+		Classifier: classify.Field{Offset: 0, Types: 2},
+		Handler: psp.HandlerFunc(func(typ int, p, r []byte) (int, proto.Status) {
+			spin.For(10 * time.Microsecond)
+			return copy(r, p), proto.StatusOK
+		}),
+		DARC: func() darc.Config {
+			c := darc.DefaultConfig(2)
+			c.MinWindowSamples = 64
+			return c
+		}(),
+		Faults: &faults.Profile{Seed: 3, ReservationDelay: 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	payload := []byte{0, 0, 1}
+	for srv.Controller().Reservation() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("reservation never installed under 20ms delay")
+		}
+		if _, err := srv.Call(payload); err != nil {
+			t.Fatal(err)
+		}
+		payload[0] ^= 1 // alternate the two types
+	}
+	if srv.StatsSnapshot().Updates == 0 {
+		t.Fatal("no reservation updates counted")
+	}
+}

@@ -27,6 +27,15 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	b.WriteString("# HELP persephone_reservation_updates_total DARC reservation recomputations.\n")
 	b.WriteString("# TYPE persephone_reservation_updates_total counter\n")
 	fmt.Fprintf(&b, "persephone_reservation_updates_total %d\n", st.Updates)
+	b.WriteString("# HELP persephone_faults_injected_total Faults created by the chaos layer (drops, dups, stalls, slowdowns, crashes).\n")
+	b.WriteString("# TYPE persephone_faults_injected_total counter\n")
+	fmt.Fprintf(&b, "persephone_faults_injected_total %d\n", st.FaultsInjected)
+	b.WriteString("# HELP persephone_retries_total Client retransmissions observed at ingress.\n")
+	b.WriteString("# TYPE persephone_retries_total counter\n")
+	fmt.Fprintf(&b, "persephone_retries_total %d\n", st.RetriesSeen)
+	b.WriteString("# HELP persephone_worker_restarts_total Workers crash-respawned by fault injection.\n")
+	b.WriteString("# TYPE persephone_worker_restarts_total counter\n")
+	fmt.Fprintf(&b, "persephone_worker_restarts_total %d\n", st.WorkerRestarts)
 
 	b.WriteString("# HELP persephone_latency_seconds Server-side sojourn quantiles per request type.\n")
 	b.WriteString("# TYPE persephone_latency_seconds summary\n")

@@ -2,12 +2,22 @@ package psp
 
 import (
 	"bytes"
+	"flag"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/classify"
+	"repro/internal/darc"
+	"repro/internal/faults"
+	"repro/internal/proto"
 )
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
 
 func TestWriteMetrics(t *testing.T) {
 	srv := newEchoServer(t, 2, ModeDARC)
@@ -90,7 +100,70 @@ func TestHealthzAfterStop(t *testing.T) {
 }
 
 func TestSanitizeLabel(t *testing.T) {
-	if got := sanitizeLabel(`we"ird la/bel`); got != "we_ird_la_bel" {
-		t.Fatalf("sanitized %q", got)
+	cases := map[string]string{
+		`we"ird la/bel`:   "we_ird_la_bel",
+		"line\nbreak":     "line_break",     // newline would corrupt the exposition format
+		`esc\ape"quote`:   "esc_ape_quote",  // backslash and quote need no escaping once mapped
+		"ünïcode":         "_n_code",        // non-ASCII runes collapse to underscores
+		"":                "",               // empty stays empty
+		"ok_name-1":       "ok_name-1",      // allowed characters pass through
+		"tab\theader\r\n": "tab_header__",
+	}
+	for in, want := range cases {
+		if got := sanitizeLabel(in); got != want {
+			t.Errorf("sanitizeLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWriteMetricsGolden pins the full Prometheus exposition — HELP
+// and TYPE lines, metric names, label quoting, value formatting —
+// against a golden file. The server is never started and every counter
+// is hand-planted, so the rendered text is byte-deterministic.
+// Regenerate with: go test ./internal/psp -run Golden -update
+func TestWriteMetricsGolden(t *testing.T) {
+	srv, err := NewServer(Config{
+		Workers:    2,
+		Classifier: classify.Field{Offset: 0, Types: 2},
+		Handler: HandlerFunc(func(typ int, p, r []byte) (int, proto.Status) {
+			return copy(r, p), proto.StatusOK
+		}),
+		DARC:   darc.DefaultConfig(2),
+		Faults: &faults.Profile{Seed: 1, DropRate: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.mu.Lock()
+	srv.enqueued, srv.dispatched, srv.dropped = 42, 40, 2
+	srv.mu.Unlock()
+	for i := 0; i < 3; i++ {
+		srv.inj.IngressDrop() // DropRate 1: always injects
+	}
+	srv.noteRetry()
+	srv.noteRetry()
+	srv.restarts.Add(1)
+	ms := time.Millisecond
+	srv.rec.Complete(0, 0, ms, 500*time.Microsecond, 100*time.Microsecond, 0)
+	srv.rec.Complete(0, 0, 2*ms, 500*time.Microsecond, 100*time.Microsecond, 0)
+	srv.rec.Complete(1, 0, 20*ms, 10*ms, ms, 0)
+
+	var buf bytes.Buffer
+	if err := srv.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics_golden.txt")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition differs from %s (run with -update to regenerate)\n--- got ---\n%s\n--- want ---\n%s",
+			golden, buf.Bytes(), want)
 	}
 }

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/classify"
 	"repro/internal/darc"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/proto"
 	"repro/internal/spsc"
@@ -108,6 +109,11 @@ type Config struct {
 	// threads). Only useful when the host has at least Workers+2
 	// cores; on oversubscribed machines it hurts.
 	PinThreads bool
+	// Faults optionally injects infrastructure misbehaviour — ingress
+	// packet drop/duplication, worker stalls, slowdowns and
+	// crash-respawns, delayed reservation updates — for chaos testing.
+	// Nil disables injection.
+	Faults *faults.Profile
 }
 
 // Server is the live runtime instance.
@@ -127,6 +133,11 @@ type Server struct {
 	stopped atomic.Bool
 	wg      sync.WaitGroup
 
+	inj          *faults.Injector
+	restarts     atomic.Uint64
+	retriesSeen  atomic.Uint64
+	resvHoldUntil time.Duration // dispatcher-only: pending delayed update
+
 	mu         sync.Mutex
 	rec        *metrics.Recorder
 	enqueued   uint64
@@ -140,6 +151,9 @@ type completion struct {
 	service time.Duration
 	sojourn time.Duration
 	queue   time.Duration
+	// respawn marks a crashed worker coming back to life: the slot is
+	// freed without feeding the profiler.
+	respawn bool
 }
 
 // NewServer validates the configuration and builds a stopped server.
@@ -179,9 +193,17 @@ func NewServer(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	var inj *faults.Injector
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, err
+		}
+		inj = faults.New(*cfg.Faults, cfg.Workers)
+	}
 	s := &Server{
 		cfg:      cfg,
 		ctl:      ctl,
+		inj:      inj,
 		ingress:  spsc.NewMPSC[*Request](cfg.IngressCap),
 		compRing: spsc.NewMPSC[completion](cfg.IngressCap),
 		queues:   make([]reqFIFO, numTypes),
@@ -224,6 +246,14 @@ func (s *Server) Stop() {
 // Controller exposes the DARC controller (reservation snapshots,
 // update counts).
 func (s *Server) Controller() *darc.Controller { return s.ctl }
+
+// Injector exposes the fault injector (nil when no fault profile is
+// configured; the nil injector injects nothing).
+func (s *Server) Injector() *faults.Injector { return s.inj }
+
+// noteRetry counts a client retransmission observed at ingress
+// (requests whose header carries a non-zero attempt number).
+func (s *Server) noteRetry() { s.retriesSeen.Add(1) }
 
 // now reports the time since server start (the recorder's clock).
 func (s *Server) now() time.Duration { return time.Since(s.start) }
@@ -287,9 +317,12 @@ func (s *Server) dispatcherLoop() {
 			}
 			progress = true
 			s.free[c.worker] = true
+			if c.respawn {
+				continue
+			}
 			s.ctl.Observe(c.typ, c.service)
 			if s.cfg.Mode == ModeDARC {
-				s.ctl.MaybeUpdate()
+				s.maybeUpdateReservation()
 			}
 			s.record(c)
 		}
@@ -325,6 +358,26 @@ func (s *Server) dispatcherLoop() {
 			// oversubscribed host we park briefly once clearly idle.
 			time.Sleep(20 * time.Microsecond)
 		}
+	}
+}
+
+// maybeUpdateReservation runs the DARC update check, holding it back
+// by the injected reservation delay when a chaos profile asks for a
+// laggy control plane. Dispatcher-only.
+func (s *Server) maybeUpdateReservation() {
+	d := s.inj.ReservationDelay()
+	if d <= 0 {
+		s.ctl.MaybeUpdate()
+		return
+	}
+	now := s.now()
+	if s.resvHoldUntil == 0 {
+		s.resvHoldUntil = now + d
+		return
+	}
+	if now >= s.resvHoldUntil {
+		s.ctl.MaybeUpdate()
+		s.resvHoldUntil = 0
 	}
 }
 
@@ -493,11 +546,29 @@ func (s *Server) workerLoop(id int) {
 		if r == nil {
 			return // shutdown sentinel
 		}
+		if d := s.inj.WorkerStall(id); d > 0 {
+			time.Sleep(d)
+		}
+		if s.inj.WorkerCrash(id) {
+			// The worker dies mid-request: the request is answered as
+			// dropped (a reset, from the client's view), the slot stays
+			// busy until a replacement respawns, and this goroutine
+			// exits.
+			s.drop(r)
+			s.restarts.Add(1)
+			s.wg.Add(1)
+			go s.respawnWorker(id)
+			return
+		}
 		startDur := s.now()
 		queueDelay := startDur - r.arrival
 		t0 := time.Now()
 		n, status := s.cfg.Handler.Handle(r.typ, r.payload, scratch)
 		service := time.Since(t0)
+		if extra := s.inj.WorkerSlowdown(id, service); extra > 0 {
+			time.Sleep(extra)
+			service += extra
+		}
 		if n < 0 {
 			n = 0
 		}
@@ -517,7 +588,7 @@ func (s *Server) workerLoop(id int) {
 		if r.buf != nil {
 			r.buf.Release()
 		}
-		s.compRing.TryPut(completion{
+		s.putCompletion(completion{
 			worker:  id,
 			typ:     r.typ,
 			service: service,
@@ -527,13 +598,39 @@ func (s *Server) workerLoop(id int) {
 	}
 }
 
+// respawnWorker brings a crashed worker slot back after the injected
+// respawn delay. The replacement announces itself with a respawn
+// completion so the dispatcher frees the slot only once the worker is
+// actually consuming its ring again.
+func (s *Server) respawnWorker(id int) {
+	time.Sleep(s.inj.RespawnDelay())
+	s.putCompletion(completion{worker: id, respawn: true})
+	s.workerLoop(id)
+}
+
+// putCompletion delivers a completion to the dispatcher, spinning if
+// the ring is momentarily full — losing one would leak the worker slot
+// (the dispatcher would consider it busy forever).
+func (s *Server) putCompletion(c completion) {
+	for !s.compRing.TryPut(c) {
+		runtime.Gosched()
+	}
+}
+
 // Stats is a point-in-time snapshot of server metrics.
 type Stats struct {
 	Enqueued   uint64
 	Dispatched uint64
 	Dropped    uint64
 	Updates    uint64
-	Summaries  []metrics.Summary
+	// FaultsInjected counts faults created by the chaos layer (0
+	// without a fault profile).
+	FaultsInjected uint64
+	// WorkerRestarts counts injected crash-then-respawn cycles.
+	WorkerRestarts uint64
+	// RetriesSeen counts client retransmissions observed at ingress.
+	RetriesSeen uint64
+	Summaries   []metrics.Summary
 }
 
 // StatsSnapshot copies the current counters and per-type summaries.
@@ -541,11 +638,14 @@ func (s *Server) StatsSnapshot() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		Enqueued:   s.enqueued,
-		Dispatched: s.dispatched,
-		Dropped:    s.dropped,
-		Updates:    s.ctl.Updates(),
-		Summaries:  s.rec.Summarize(),
+		Enqueued:       s.enqueued,
+		Dispatched:     s.dispatched,
+		Dropped:        s.dropped,
+		Updates:        s.ctl.Updates(),
+		FaultsInjected: s.inj.Total(),
+		WorkerRestarts: s.restarts.Load(),
+		RetriesSeen:    s.retriesSeen.Load(),
+		Summaries:      s.rec.Summarize(),
 	}
 }
 

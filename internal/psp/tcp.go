@@ -107,6 +107,14 @@ func (t *TCPServer) serveConn(conn net.Conn) {
 			t.rxDrops.Add(1)
 			continue
 		}
+		// Retry attempts ride in the request status byte (see proto).
+		if hdr.Status != 0 {
+			t.Server.noteRetry()
+		}
+		// Chaos layer: drop the frame as if the message never arrived.
+		if t.Server.inj.IngressDrop() {
+			continue
+		}
 		reqID := hdr.RequestID
 		req := &Request{payload: payload}
 		req.respond = func(resp Response) {
@@ -126,6 +134,16 @@ func (t *TCPServer) serveConn(conn net.Conn) {
 			continue
 		}
 		t.rx.Add(1)
+		// Chaos layer: duplicated delivery of the same frame.
+		if t.Server.inj.IngressDup() {
+			dup := &Request{
+				payload: append([]byte(nil), payload...),
+				respond: req.respond,
+			}
+			if t.Server.inject(dup) {
+				t.rx.Add(1)
+			}
+		}
 	}
 }
 

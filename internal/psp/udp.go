@@ -96,6 +96,17 @@ func (u *UDPServer) netWorker() {
 			u.rxDrops.Add(1)
 			continue
 		}
+		// Requests stamp their retry attempt in the header status byte
+		// (see proto); attempt > 0 is a client retransmission.
+		if hdr.Status != 0 {
+			u.Server.noteRetry()
+		}
+		// Chaos layer: the datagram may vanish here, as if lost on the
+		// wire before the net worker ever saw it.
+		if u.Server.inj.IngressDrop() {
+			buf.Release()
+			continue
+		}
 		req := &Request{payload: payload, buf: buf}
 		reqID := hdr.RequestID
 		addr := from
@@ -118,5 +129,17 @@ func (u *UDPServer) netWorker() {
 			continue
 		}
 		u.rx.Add(1)
+		// Chaos layer: duplicated delivery, as a retransmitting network
+		// would produce. The copy owns its payload — the original's
+		// pooled buffer is released when the first completion fires.
+		if u.Server.inj.IngressDup() {
+			dup := &Request{
+				payload: append([]byte(nil), payload...),
+				respond: req.respond,
+			}
+			if u.Server.inject(dup) {
+				u.rx.Add(1)
+			}
+		}
 	}
 }

@@ -80,7 +80,10 @@ func TestRingWrapAround(t *testing.T) {
 // checks exact order and completeness.
 func TestRingConcurrent(t *testing.T) {
 	r := NewRing[int](1024)
-	const n = 1 << 20
+	n := 1 << 20
+	if testing.Short() {
+		n = 1 << 16 // keep CI's instrumented (-race -short) run quick
+	}
 	done := make(chan error, 1)
 	go func() {
 		for i := 0; i < n; i++ {
@@ -135,7 +138,10 @@ func TestMPSCSingleThread(t *testing.T) {
 // every value must arrive exactly once.
 func TestMPSCConcurrentProducers(t *testing.T) {
 	const producers = 8
-	const perProducer = 20000
+	perProducer := 20000
+	if testing.Short() {
+		perProducer = 2000
+	}
 	q := NewMPSC[int](256)
 	var wg sync.WaitGroup
 	for p := 0; p < producers; p++ {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/classify"
 	"repro/internal/darc"
+	"repro/internal/faults"
 	"repro/internal/loadgen"
 	"repro/internal/proto"
 	"repro/internal/psp"
@@ -76,6 +77,19 @@ type LiveConfig struct {
 	// QueueCap bounds each typed queue (default 4096); overflowing
 	// requests are answered with StatusDropped.
 	QueueCap int
+	// Faults optionally enables the chaos layer with the given fault
+	// profile (see internal/faults); nil injects nothing.
+	Faults *FaultProfile
+}
+
+// FaultProfile configures the deterministic fault injector; build one
+// with ParseFaultProfile or a faults.Profile literal.
+type FaultProfile = faults.Profile
+
+// ParseFaultProfile decodes a chaos spec like
+// "seed=42,drop=0.1,stall=0:5ms,crash=0.001,respawn=10ms".
+func ParseFaultProfile(spec string) (FaultProfile, error) {
+	return faults.ParseProfile(spec)
 }
 
 // LiveServer is the running Perséphone pipeline.
@@ -84,8 +98,9 @@ type LiveServer = psp.Server
 // LiveStats is a snapshot of live-server metrics.
 type LiveStats = psp.Stats
 
-// NewLiveServer builds and starts the live runtime.
-func NewLiveServer(cfg LiveConfig) (*LiveServer, error) {
+// buildLiveServer translates a LiveConfig into a stopped psp.Server —
+// the shared core of NewLiveServer, ServeUDP and ServeTCP.
+func buildLiveServer(cfg LiveConfig) (*psp.Server, error) {
 	mode := psp.ModeDARC
 	if cfg.UseCFCFS {
 		mode = psp.ModeCFCFS
@@ -99,14 +114,20 @@ func NewLiveServer(cfg LiveConfig) (*LiveServer, error) {
 	} else {
 		dcfg.MinWindowSamples = 512
 	}
-	srv, err := psp.NewServer(psp.Config{
+	return psp.NewServer(psp.Config{
 		Workers:    cfg.Workers,
 		Classifier: cfg.Classifier,
 		Handler:    cfg.Handler,
 		Mode:       mode,
 		DARC:       dcfg,
 		QueueCap:   cfg.QueueCap,
+		Faults:     cfg.Faults,
 	})
+}
+
+// NewLiveServer builds and starts the live runtime.
+func NewLiveServer(cfg LiveConfig) (*LiveServer, error) {
+	srv, err := buildLiveServer(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -118,27 +139,7 @@ func NewLiveServer(cfg LiveConfig) (*LiveServer, error) {
 // UDP; use NewLiveServerStopped + ServeUDP for network deployments, or
 // the psp package directly for full control.
 func ServeUDP(addr string, cfg LiveConfig) (*psp.UDPServer, error) {
-	mode := psp.ModeDARC
-	if cfg.UseCFCFS {
-		mode = psp.ModeCFCFS
-	}
-	dcfg := darc.DefaultConfig(max(cfg.Workers, 1))
-	if cfg.Workers <= 1 {
-		dcfg.Spillway = 0
-	}
-	if cfg.MinWindowSamples > 0 {
-		dcfg.MinWindowSamples = cfg.MinWindowSamples
-	} else {
-		dcfg.MinWindowSamples = 512
-	}
-	srv, err := psp.NewServer(psp.Config{
-		Workers:    cfg.Workers,
-		Classifier: cfg.Classifier,
-		Handler:    cfg.Handler,
-		Mode:       mode,
-		DARC:       dcfg,
-		QueueCap:   cfg.QueueCap,
-	})
+	srv, err := buildLiveServer(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -148,27 +149,7 @@ func ServeUDP(addr string, cfg LiveConfig) (*psp.UDPServer, error) {
 // ServeTCP exposes a live server over TCP with length-prefixed frames
 // (the stateful-dispatcher deployment §6 of the paper sketches).
 func ServeTCP(addr string, cfg LiveConfig) (*psp.TCPServer, error) {
-	mode := psp.ModeDARC
-	if cfg.UseCFCFS {
-		mode = psp.ModeCFCFS
-	}
-	dcfg := darc.DefaultConfig(max(cfg.Workers, 1))
-	if cfg.Workers <= 1 {
-		dcfg.Spillway = 0
-	}
-	if cfg.MinWindowSamples > 0 {
-		dcfg.MinWindowSamples = cfg.MinWindowSamples
-	} else {
-		dcfg.MinWindowSamples = 512
-	}
-	srv, err := psp.NewServer(psp.Config{
-		Workers:    cfg.Workers,
-		Classifier: cfg.Classifier,
-		Handler:    cfg.Handler,
-		Mode:       mode,
-		DARC:       dcfg,
-		QueueCap:   cfg.QueueCap,
-	})
+	srv, err := buildLiveServer(cfg)
 	if err != nil {
 		return nil, err
 	}
