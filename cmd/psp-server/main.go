@@ -19,6 +19,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -27,6 +28,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/spin"
 	"repro/internal/tpcc"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -37,6 +39,7 @@ func main() {
 	cfcfs := flag.Bool("cfcfs", false, "run the c-FCFS baseline instead of DARC")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /healthz on this address (e.g. 127.0.0.1:9941)")
 	faultSpec := flag.String("faults", "", `chaos profile, e.g. "seed=42,drop=0.1,dup=0.01,stall=0:5ms,slow=1:2,crash=0.001,respawn=10ms,resdelay=5ms"`)
+	traceOut := flag.String("trace-out", "", "dump completed-request lifecycle spans to this CSV file (replayable via psp-trace/psp-sim)")
 	flag.Parse()
 
 	cfg, err := buildApp(*app, *workloadName, *workers, *cfcfs)
@@ -51,6 +54,19 @@ func main() {
 			os.Exit(2)
 		}
 		cfg.Faults = &profile
+	}
+	var traceFile *os.File
+	var spanW *trace.SpanWriter
+	if *traceOut != "" {
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		spanW = trace.NewSpanWriter(traceFile)
+		cfg.TraceSink = func(sp persephone.TraceSpan) {
+			spanW.Write(sp) //nolint:errcheck // sticky, reported at Flush
+		}
 	}
 	udp, err := persephone.ServeUDP(*addr, cfg)
 	if err != nil {
@@ -72,12 +88,48 @@ func main() {
 		fmt.Printf("metrics on http://%s/metrics\n", bound)
 	}
 
+	var flushWG sync.WaitGroup
+	stopFlush := make(chan struct{})
+	if spanW != nil {
+		fmt.Printf("tracing lifecycle spans to %s\n", *traceOut)
+		// Drain worker trace rings to the CSV sink periodically, so
+		// long runs don't overflow the fixed-capacity rings.
+		flushWG.Add(1)
+		go func() {
+			defer flushWG.Done()
+			tick := time.NewTicker(100 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					udp.Server.FlushTrace()
+				case <-stopFlush:
+					return
+				}
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 
 	st := udp.Server.StatsSnapshot()
 	udp.Close()
+	close(stopFlush)
+	flushWG.Wait()
+	if spanW != nil {
+		// Close() flushed the final spans through the sink; settle the
+		// file.
+		if err := spanW.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+		}
+		fmt.Printf("wrote %d lifecycle spans to %s (lost %d to full rings)\n",
+			spanW.Count(), *traceOut, udp.Server.StatsSnapshot().TraceLost)
+	}
 	fmt.Printf("\nenqueued %d  dispatched %d  dropped %d  reservation updates %d  rx drops %d\n",
 		st.Enqueued, st.Dispatched, st.Dropped, st.Updates, udp.RxDrops())
 	if st.FaultsInjected > 0 || st.RetriesSeen > 0 {

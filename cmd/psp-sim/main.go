@@ -6,6 +6,12 @@
 //	psp-sim -workload extreme-bimodal -policy darc -workers 16 -load 0.9
 //	psp-sim -workload tpcc -policy shinjuku-mq -load 0.7 -duration 2s
 //	psp-sim -workload high-bimodal -policy darc-static:2 -load 0.95
+//	psp-sim -trace live-spans.csv -policy cfcfs -workers 3
+//
+// With -trace, arrivals come from a recorded file instead of a
+// generator: either an arrival trace (psp-trace record) or a live
+// lifecycle span dump (psp-server -trace-out), making sim-vs-live
+// policy comparisons a one-liner.
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"time"
 
 	persephone "repro"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -27,6 +34,7 @@ func main() {
 	rtt := flag.Duration("rtt", 10*time.Microsecond, "network round-trip added to end-to-end latency")
 	seed := flag.Uint64("seed", 42, "random seed")
 	policies := flag.Bool("policies", false, "list policies and exit")
+	traceIn := flag.String("trace", "", "replay a recorded arrival trace or live span dump instead of generating arrivals")
 	flag.Parse()
 
 	if *policies {
@@ -41,19 +49,45 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	res, err := persephone.Simulate(persephone.SimConfig{
-		Workers:      *workers,
-		Mix:          mix,
-		Policy:       *policyName,
-		LoadFraction: *load,
-		Rate:         *rate,
-		Duration:     *duration,
-		RTT:          *rtt,
-		Seed:         *seed,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	var res *persephone.SimResult
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tr, err := trace.ReadAuto(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res, err = persephone.ReplayTrace(tr, persephone.SimConfig{
+			Workers: *workers,
+			Mix:     mix,
+			Policy:  *policyName,
+			RTT:     *rtt,
+			Seed:    *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		res, err = persephone.Simulate(persephone.SimConfig{
+			Workers:      *workers,
+			Mix:          mix,
+			Policy:       *policyName,
+			LoadFraction: *load,
+			Rate:         *rate,
+			Duration:     *duration,
+			RTT:          *rtt,
+			Seed:         *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("workload   %s (peak %.3f Mrps on %d workers)\n", mix.Name, mix.PeakLoad(*workers)/1e6, *workers)

@@ -8,6 +8,13 @@
 //	psp-trace info -in trace.csv
 //	psp-trace scale -in trace.csv -factor 0.5 -out faster.csv
 //	psp-trace replay -in trace.csv -policy darc -workers 14
+//	psp-trace spans -in live-spans.csv
+//
+// info, scale and replay accept either arrival traces or the live
+// runtime's lifecycle span dumps (psp-server -trace-out); span dumps
+// are projected down to their arrival trace, so a live run replays
+// through the simulator directly. spans prints the per-stage
+// lifecycle breakdown only span dumps carry.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"time"
 
 	persephone "repro"
+	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -37,6 +45,8 @@ func main() {
 		err = scale(args)
 	case "replay":
 		err = replay(args)
+	case "spans":
+		err = spans(args)
 	default:
 		usage()
 	}
@@ -47,7 +57,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: psp-trace {record|info|scale|replay} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: psp-trace {record|info|scale|replay|spans} [flags]")
 	os.Exit(2)
 }
 
@@ -112,7 +122,7 @@ func readTrace(path string) (*trace.Trace, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return trace.Read(f)
+	return trace.ReadAuto(f)
 }
 
 func info(args []string) error {
@@ -198,6 +208,66 @@ func replay(args []string) error {
 			continue
 		}
 		fmt.Printf("  %-12s n=%-8d p999=%v\n", ts.Name, ts.Completed, ts.P999)
+	}
+	return nil
+}
+
+// spans prints the per-type lifecycle decomposition of a live span
+// dump: where each request type's time went between ingress and reply.
+func spans(args []string) error {
+	fs := flag.NewFlagSet("spans", flag.ExitOnError)
+	in := fs.String("in", "", "lifecycle span dump (psp-server -trace-out)")
+	fs.Parse(args) //nolint:errcheck
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sps, err := trace.ReadSpans(f)
+	if err != nil {
+		return err
+	}
+	if len(sps) == 0 {
+		fmt.Println("no spans")
+		return nil
+	}
+	maxType := 0
+	for _, s := range sps {
+		if s.Type > maxType {
+			maxType = s.Type
+		}
+	}
+	// One histogram row per type plus a trailing bucket for
+	// unclassifiable requests (Type < 0).
+	type row struct {
+		queue, svc, sojourn metrics.Histogram
+	}
+	rows := make([]row, maxType+2)
+	for _, s := range sps {
+		i := s.Type
+		if i < 0 {
+			i = maxType + 1
+		}
+		rows[i].queue.RecordDuration(s.QueueDelay())
+		rows[i].svc.RecordDuration(s.Service())
+		rows[i].sojourn.RecordDuration(s.Sojourn())
+	}
+	fmt.Printf("spans %d  types %d\n", len(sps), maxType+1)
+	for i := range rows {
+		r := &rows[i]
+		if r.queue.Count() == 0 {
+			continue
+		}
+		name := fmt.Sprintf("type %d", i)
+		if i == maxType+1 {
+			name = "unknown"
+		}
+		fmt.Printf("  %-8s n=%-8d queue p50=%-12v p99.9=%-12v service p50=%-12v p99.9=%-12v sojourn p99.9=%v\n",
+			name, r.queue.Count(),
+			r.queue.QuantileDuration(0.5), r.queue.QuantileDuration(0.999),
+			r.svc.QuantileDuration(0.5), r.svc.QuantileDuration(0.999),
+			r.sojourn.QuantileDuration(0.999))
 	}
 	return nil
 }

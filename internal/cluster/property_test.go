@@ -1,0 +1,221 @@
+// Property tests for the simulated cluster: request conservation
+// (nothing is created or lost by the scheduling machinery) and a
+// Little's-law sanity check tying the machine's queue occupancy to the
+// recorder's latency view. External test package so real policies from
+// internal/policy can be exercised without an import cycle.
+package cluster_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/darc"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// testMix is a bimodal mix light enough that a 2-worker cluster at
+// the chosen rates stays stable.
+func testMix() workload.Mix {
+	return workload.TwoType("short", 1*time.Microsecond, 0.5, "long", 10*time.Microsecond)
+}
+
+// genTrace builds a finite Poisson arrival trace.
+func genTrace(t *testing.T, seed uint64, rate float64, duration time.Duration) *trace.Trace {
+	t.Helper()
+	src, err := workload.NewSource(testMix(), rate, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.Generate(adapter{src}, duration)
+	if tr.Len() == 0 {
+		t.Fatal("empty generated trace")
+	}
+	return tr
+}
+
+type adapter struct{ s *workload.Source }
+
+func (a adapter) Next() (time.Duration, int, time.Duration) {
+	arr := a.s.Next()
+	return arr.Gap, arr.Type, arr.Service
+}
+
+// policies under test; DARC gets a window small enough to profile
+// within the run.
+func propertyPolicies(workers, types int) []struct {
+	name string
+	mk   func() cluster.Policy
+} {
+	return []struct {
+		name string
+		mk   func() cluster.Policy
+	}{
+		{"c-FCFS", func() cluster.Policy { return policy.NewCFCFS(0) }},
+		{"SJF", func() cluster.Policy { return policy.NewSJF(0) }},
+		{"DARC", func() cluster.Policy {
+			cfg := darc.DefaultConfig(workers)
+			cfg.MinWindowSamples = 200
+			return policy.NewDARC(cfg, types, 0)
+		}},
+	}
+}
+
+// TestRequestConservation replays finite traces with a drain period
+// long past the last arrival and asserts the accounting identity:
+// every arrival is exactly one of completed, dropped, or in-flight —
+// and after the drain, in-flight is zero.
+func TestRequestConservation(t *testing.T) {
+	const workers = 2
+	for _, seed := range []uint64{1, 7, 42} {
+		for _, pc := range propertyPolicies(workers, 2) {
+			t.Run(fmt.Sprintf("%s/seed%d", pc.name, seed), func(t *testing.T) {
+				tr := genTrace(t, seed, 150000, 50*time.Millisecond)
+				res, err := cluster.Run(cluster.Config{
+					Workers:   workers,
+					Trace:     tr,
+					Duration:  tr.Duration() + 100*time.Millisecond, // drain
+					Seed:      seed,
+					NewPolicy: pc.mk,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				m := res.Machine
+				if got := m.Arrived(); got != uint64(tr.Len()) {
+					t.Fatalf("arrived %d, trace has %d records", got, tr.Len())
+				}
+				if inf := m.InFlight(); inf != 0 {
+					t.Fatalf("%d requests still in flight after drain", inf)
+				}
+				if m.Completed()+m.Dropped() != m.Arrived() {
+					t.Fatalf("completed %d + dropped %d != arrived %d",
+						m.Completed(), m.Dropped(), m.Arrived())
+				}
+				// Unbounded queues: nothing may be shed.
+				if m.Dropped() != 0 {
+					t.Fatalf("unbounded queues dropped %d", m.Dropped())
+				}
+				// Recorder cross-check (no warmup configured): the
+				// recorder saw every completion.
+				all := res.Recorder.All()
+				if all.Completed != m.Completed() {
+					t.Fatalf("recorder completed %d, machine completed %d",
+						all.Completed, m.Completed())
+				}
+			})
+		}
+	}
+}
+
+// TestRequestConservationWithDrops repeats the identity under a
+// bounded queue at overload, where shedding must make up the balance.
+func TestRequestConservationWithDrops(t *testing.T) {
+	tr := genTrace(t, 3, 400000, 50*time.Millisecond) // ~2.2x capacity of 1 worker
+	res, err := cluster.Run(cluster.Config{
+		Workers:   1,
+		Trace:     tr,
+		Duration:  tr.Duration() + 100*time.Millisecond,
+		Seed:      3,
+		NewPolicy: func() cluster.Policy { return policy.NewCFCFS(64) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Machine
+	if m.Dropped() == 0 {
+		t.Fatal("overloaded bounded queue dropped nothing")
+	}
+	if inf := m.InFlight(); inf != 0 {
+		t.Fatalf("%d in flight after drain", inf)
+	}
+	if m.Completed()+m.Dropped() != m.Arrived() {
+		t.Fatalf("completed %d + dropped %d != arrived %d",
+			m.Completed(), m.Dropped(), m.Arrived())
+	}
+}
+
+// TestLittlesLaw runs a stable open system and checks L ≈ λ·W: the
+// time-averaged number of requests in the system (sampled from the
+// machine) against arrival rate times the recorder's mean sojourn.
+// The identity is distribution-free, so it holds for every policy.
+func TestLittlesLaw(t *testing.T) {
+	const (
+		workers  = 2
+		rate     = 200000.0 // ~55% utilization of 2 workers at 5.5µs mean
+		duration = 400 * time.Millisecond
+		warmup   = 40 * time.Millisecond
+		sample   = 20 * time.Microsecond
+	)
+	for _, seed := range []uint64{5, 11} {
+		for _, pc := range propertyPolicies(workers, 2) {
+			t.Run(fmt.Sprintf("%s/seed%d", pc.name, seed), func(t *testing.T) {
+				src, err := workload.NewSource(testMix(), rate, rng.New(seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				s := sim.New()
+				rec := metrics.NewRecorder(2, nil)
+				rec.SetWarmup(warmup)
+				m := cluster.NewMachine(s, workers, pc.mk(), rec)
+
+				// Open-loop arrivals: each schedules its successor.
+				var arrive func()
+				arrive = func() {
+					arr := src.Next()
+					at := s.Now() + sim.Time(arr.Gap)
+					if at >= sim.Time(duration) {
+						return
+					}
+					s.At(at, func() {
+						m.Arrive(arr.Type, arr.Service)
+						arrive()
+					})
+				}
+				arrive()
+
+				// Sample queue occupancy between warmup and the end.
+				var sumL float64
+				var samples int
+				var tick func(at sim.Time)
+				tick = func(at sim.Time) {
+					if at >= sim.Time(duration) {
+						return
+					}
+					s.At(at, func() {
+						sumL += float64(m.InFlight())
+						samples++
+						tick(at + sim.Time(sample))
+					})
+				}
+				tick(sim.Time(warmup))
+
+				s.RunUntil(sim.Time(duration))
+
+				if samples == 0 {
+					t.Fatal("no samples")
+				}
+				meanL := sumL / float64(samples)
+				all := rec.All()
+				if all.Completed == 0 {
+					t.Fatal("nothing completed")
+				}
+				meanW := all.Latency.Mean() / 1e9 // ns → s
+				predicted := rate * meanW
+				ratio := meanL / predicted
+				t.Logf("L=%.3f λW=%.3f ratio=%.3f (n=%d, W=%.2fµs)",
+					meanL, predicted, ratio, all.Completed, meanW*1e6)
+				if ratio < 0.75 || ratio > 1.25 {
+					t.Fatalf("Little's law violated: L=%.3f vs λW=%.3f (ratio %.3f)",
+						meanL, predicted, ratio)
+				}
+			})
+		}
+	}
+}

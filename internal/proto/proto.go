@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Magic identifies Perséphone datagrams.
@@ -113,4 +114,50 @@ func AppendMessage(dst []byte, h Header, payload []byte) []byte {
 	EncodeHeader(hdr[:], h)
 	dst = append(dst, hdr[:]...)
 	return append(dst, payload...)
+}
+
+// TimingMagic guards the optional timing trailer servers append after
+// the response payload.
+const TimingMagic uint16 = 0x7454
+
+// TimingSize is the trailer length: magic + queue_ns + service_ns.
+const TimingSize = 18
+
+// Timing is the server-side lifecycle decomposition a response can
+// carry back to the client: how long the request queued before a
+// worker picked it up, and how long the handler ran. The trailer sits
+// after the payload inside the same datagram/frame, so clients that
+// decode only Header+payload (the PayloadLen bytes) remain compatible
+// and simply never see it.
+type Timing struct {
+	// Queue is ingress-to-worker-start queueing delay.
+	Queue time.Duration
+	// Service is the handler execution time.
+	Service time.Duration
+}
+
+// AppendTiming appends the timing trailer to an encoded message.
+func AppendTiming(dst []byte, t Timing) []byte {
+	var buf [TimingSize]byte
+	binary.LittleEndian.PutUint16(buf[0:2], TimingMagic)
+	binary.LittleEndian.PutUint64(buf[2:10], uint64(t.Queue))
+	binary.LittleEndian.PutUint64(buf[10:18], uint64(t.Service))
+	return append(dst, buf[:]...)
+}
+
+// DecodeTiming extracts the timing trailer from a full message whose
+// decoded header is h. ok is false when no trailer is present.
+func DecodeTiming(buf []byte, h Header) (Timing, bool) {
+	off := HeaderSize + int(h.PayloadLen)
+	if len(buf) < off+TimingSize {
+		return Timing{}, false
+	}
+	tail := buf[off:]
+	if binary.LittleEndian.Uint16(tail[0:2]) != TimingMagic {
+		return Timing{}, false
+	}
+	return Timing{
+		Queue:   time.Duration(binary.LittleEndian.Uint64(tail[2:10])),
+		Service: time.Duration(binary.LittleEndian.Uint64(tail[10:18])),
+	}, true
 }

@@ -50,6 +50,33 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 		fmt.Fprintf(&b, "persephone_latency_seconds_count{type=%q} %d\n", name, row.Completed)
 		fmt.Fprintf(&b, "persephone_slowdown_p999{type=%q} %g\n", name, row.Slowdown999)
 	}
+
+	b.WriteString("# HELP persephone_trace_spans_total Lifecycle spans drained from worker trace rings.\n")
+	b.WriteString("# TYPE persephone_trace_spans_total counter\n")
+	fmt.Fprintf(&b, "persephone_trace_spans_total %d\n", st.TraceSpans)
+	b.WriteString("# HELP persephone_trace_lost_total Lifecycle spans dropped because a trace ring was full.\n")
+	b.WriteString("# TYPE persephone_trace_lost_total counter\n")
+	fmt.Fprintf(&b, "persephone_trace_lost_total %d\n", st.TraceLost)
+
+	rows := s.TraceSummaries()
+	b.WriteString("# HELP persephone_queue_delay_ns Lifecycle queueing delay (ingress to worker start) per request type, in nanoseconds.\n")
+	b.WriteString("# TYPE persephone_queue_delay_ns summary\n")
+	for _, row := range rows {
+		name := sanitizeLabel(row.Name)
+		fmt.Fprintf(&b, "persephone_queue_delay_ns{type=%q,quantile=\"0.5\"} %d\n", name, row.QueueP50.Nanoseconds())
+		fmt.Fprintf(&b, "persephone_queue_delay_ns{type=%q,quantile=\"0.99\"} %d\n", name, row.QueueP99.Nanoseconds())
+		fmt.Fprintf(&b, "persephone_queue_delay_ns{type=%q,quantile=\"0.999\"} %d\n", name, row.QueueP999.Nanoseconds())
+		fmt.Fprintf(&b, "persephone_queue_delay_ns_count{type=%q} %d\n", name, row.Count)
+	}
+	b.WriteString("# HELP persephone_service_ns Measured handler execution time per request type, in nanoseconds.\n")
+	b.WriteString("# TYPE persephone_service_ns summary\n")
+	for _, row := range rows {
+		name := sanitizeLabel(row.Name)
+		fmt.Fprintf(&b, "persephone_service_ns{type=%q,quantile=\"0.5\"} %d\n", name, row.SvcP50.Nanoseconds())
+		fmt.Fprintf(&b, "persephone_service_ns{type=%q,quantile=\"0.99\"} %d\n", name, row.SvcP99.Nanoseconds())
+		fmt.Fprintf(&b, "persephone_service_ns{type=%q,quantile=\"0.999\"} %d\n", name, row.SvcP999.Nanoseconds())
+		fmt.Fprintf(&b, "persephone_service_ns_count{type=%q} %d\n", name, row.Count)
+	}
 	_, err := io.WriteString(w, b.String())
 	return err
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/darc"
 	"repro/internal/faults"
 	"repro/internal/proto"
+	"repro/internal/trace"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
@@ -147,6 +148,22 @@ func TestWriteMetricsGolden(t *testing.T) {
 	srv.rec.Complete(0, 0, ms, 500*time.Microsecond, 100*time.Microsecond, 0)
 	srv.rec.Complete(0, 0, 2*ms, 500*time.Microsecond, 100*time.Microsecond, 0)
 	srv.rec.Complete(1, 0, 20*ms, 10*ms, ms, 0)
+
+	// Hand-plant lifecycle spans: two type-0, one type-1, and one
+	// unclassifiable request; the stats path drains them into the
+	// queue-delay and service families. traceLost is bumped directly.
+	us := time.Microsecond
+	for _, sp := range []trace.Span{
+		{ID: 1, Type: 0, Worker: 0, Ingress: 0, Started: 10 * us, Finished: 110 * us, Replied: 112 * us},
+		{ID: 2, Type: 0, Worker: 0, Ingress: 50 * us, Started: 80 * us, Finished: 190 * us, Replied: 195 * us},
+		{ID: 3, Type: 1, Worker: 1, Ingress: 0, Started: 2 * ms, Finished: 12 * ms, Replied: 12*ms + 5*us},
+		{ID: 4, Type: -1, Worker: 1, Ingress: ms, Started: ms + 40*us, Finished: ms + 90*us, Replied: ms + 95*us},
+	} {
+		if !srv.traceRings[sp.Worker].TryPut(sp) {
+			t.Fatalf("trace ring full planting span %d", sp.ID)
+		}
+	}
+	srv.traceLost.Add(1)
 
 	var buf bytes.Buffer
 	if err := srv.WriteMetrics(&buf); err != nil {

@@ -27,6 +27,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/proto"
 	"repro/internal/spsc"
+	"repro/internal/trace"
 )
 
 // Mode selects the dispatcher's scheduling policy.
@@ -57,6 +58,10 @@ type Response struct {
 	Payload   []byte
 	// Sojourn is the server-side time from ingress to completion.
 	Sojourn time.Duration
+	// QueueDelay is the ingress-to-worker-start wait (0 for drops).
+	QueueDelay time.Duration
+	// Service is the measured handler execution time (0 for drops).
+	Service time.Duration
 }
 
 // Request is the unit flowing through the pipeline.
@@ -67,6 +72,13 @@ type Request struct {
 	arrival time.Duration // since server start
 	respond func(Response)
 	buf     *spsc.Buffer // UDP mode: owning network buffer
+
+	// Lifecycle stamps (offsets since server start), filled as the
+	// request crosses each stage; the worker completes the record and
+	// publishes it as a trace.Span.
+	classified time.Duration
+	enqueued   time.Duration
+	dispatched time.Duration
 }
 
 // Handler executes application logic for a request. Implementations
@@ -114,6 +126,15 @@ type Config struct {
 	// crash-respawns, delayed reservation updates — for chaos testing.
 	// Nil disables injection.
 	Faults *faults.Profile
+	// TraceCap sets each worker's lifecycle span ring capacity
+	// (default 4096, rounded up to a power of two). Negative disables
+	// lifecycle tracing entirely; zero keeps the default — tracing is
+	// on by default and costs nothing beyond timestamps when unread.
+	TraceCap int
+	// TraceSink, when non-nil, receives every span drained by
+	// FlushTrace (called under the drain lock, so invocations are
+	// serialized). SetTraceSink installs one after construction.
+	TraceSink func(trace.Span)
 }
 
 // Server is the live runtime instance.
@@ -143,6 +164,20 @@ type Server struct {
 	enqueued   uint64
 	dispatched uint64
 	dropped    uint64
+
+	// Lifecycle tracing: each worker publishes completed-request spans
+	// into its own fixed-capacity SPSC ring; the stats path drains them
+	// under traceMu into per-type histograms (and the optional sink),
+	// so the hot path never allocates or takes a lock for tracing.
+	traceRings []*spsc.Ring[trace.Span]
+	traceLost  atomic.Uint64
+	traceMu    sync.Mutex
+	traceSink  func(trace.Span)
+	spanCount  uint64
+	queueDelayH []metrics.Histogram // per type, last entry = unknown
+	serviceH    []metrics.Histogram
+	slowdownH   []metrics.Histogram // scaled by metrics.SlowdownScale
+	typeNames   []string            // per type, last entry = "unknown"
 }
 
 type completion struct {
@@ -219,6 +254,21 @@ func NewServer(cfg Config) (*Server, error) {
 		s.rings = append(s.rings, spsc.NewRing[*Request](8))
 		s.free[i] = true
 	}
+	if cfg.TraceCap >= 0 {
+		capSpans := cfg.TraceCap
+		if capSpans == 0 {
+			capSpans = 4096
+		}
+		s.traceRings = make([]*spsc.Ring[trace.Span], cfg.Workers)
+		for i := range s.traceRings {
+			s.traceRings[i] = spsc.NewRing[trace.Span](capSpans)
+		}
+		s.queueDelayH = make([]metrics.Histogram, numTypes+1)
+		s.serviceH = make([]metrics.Histogram, numTypes+1)
+		s.slowdownH = make([]metrics.Histogram, numTypes+1)
+		s.typeNames = append(s.rec.TypeNames(), "unknown")
+		s.traceSink = cfg.TraceSink
+	}
 	return s, nil
 }
 
@@ -241,6 +291,8 @@ func (s *Server) Stop() {
 		return
 	}
 	s.wg.Wait()
+	// Workers are gone: whatever spans they published are final.
+	s.FlushTrace()
 }
 
 // Controller exposes the DARC controller (reservation snapshots,
@@ -334,6 +386,7 @@ func (s *Server) dispatcherLoop() {
 			}
 			progress = true
 			r.typ = s.cfg.Classifier.Classify(r.payload)
+			r.classified = s.now()
 			s.enqueue(r)
 		}
 		// 3. Dispatch.
@@ -386,6 +439,7 @@ func (s *Server) enqueue(r *Request) {
 	if r.typ >= 0 && r.typ < len(s.queues) {
 		q = &s.queues[r.typ]
 	}
+	r.enqueued = s.now()
 	if !q.push(r) {
 		s.drop(r)
 		return
@@ -499,7 +553,8 @@ func (s *Server) firstFree(reserved, stealable []int) int {
 }
 
 func (s *Server) handoff(w int, r *Request) {
-	s.ctl.NoteQueueDelay(r.typ, s.now()-r.arrival)
+	r.dispatched = s.now()
+	s.ctl.NoteQueueDelay(r.typ, r.dispatched-r.arrival)
 	s.free[w] = false
 	s.mu.Lock()
 	s.dispatched++
@@ -569,6 +624,7 @@ func (s *Server) workerLoop(id int) {
 			time.Sleep(extra)
 			service += extra
 		}
+		finished := s.now()
 		if n < 0 {
 			n = 0
 		}
@@ -578,16 +634,19 @@ func (s *Server) workerLoop(id int) {
 		if r.respond != nil {
 			payload := append([]byte(nil), scratch[:n]...)
 			r.respond(Response{
-				RequestID: r.id,
-				Type:      r.typ,
-				Status:    status,
-				Payload:   payload,
-				Sojourn:   s.now() - r.arrival,
+				RequestID:  r.id,
+				Type:       r.typ,
+				Status:     status,
+				Payload:    payload,
+				Sojourn:    s.now() - r.arrival,
+				QueueDelay: queueDelay,
+				Service:    service,
 			})
 		}
 		if r.buf != nil {
 			r.buf.Release()
 		}
+		s.traceSpan(id, r, startDur, finished, s.now())
 		s.putCompletion(completion{
 			worker:  id,
 			typ:     r.typ,
@@ -630,11 +689,19 @@ type Stats struct {
 	WorkerRestarts uint64
 	// RetriesSeen counts client retransmissions observed at ingress.
 	RetriesSeen uint64
-	Summaries   []metrics.Summary
+	// TraceSpans counts lifecycle spans drained from worker rings.
+	TraceSpans uint64
+	// TraceLost counts spans dropped because a worker's trace ring was
+	// full between drains.
+	TraceLost uint64
+	Summaries  []metrics.Summary
 }
 
-// StatsSnapshot copies the current counters and per-type summaries.
+// StatsSnapshot copies the current counters and per-type summaries,
+// draining any pending lifecycle spans first.
 func (s *Server) StatsSnapshot() Stats {
+	s.FlushTrace()
+	spans, lost := s.traceCounts()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
@@ -645,6 +712,8 @@ func (s *Server) StatsSnapshot() Stats {
 		FaultsInjected: s.inj.Total(),
 		WorkerRestarts: s.restarts.Load(),
 		RetriesSeen:    s.retriesSeen.Load(),
+		TraceSpans:     spans,
+		TraceLost:      lost,
 		Summaries:      s.rec.Summarize(),
 	}
 }

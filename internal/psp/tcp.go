@@ -118,12 +118,13 @@ func (t *TCPServer) serveConn(conn net.Conn) {
 		reqID := hdr.RequestID
 		req := &Request{payload: payload}
 		req.respond = func(resp Response) {
-			msg := proto.AppendMessage(make([]byte, 4, 4+proto.HeaderSize+len(resp.Payload)), proto.Header{
+			msg := proto.AppendMessage(make([]byte, 4, 4+proto.HeaderSize+len(resp.Payload)+proto.TimingSize), proto.Header{
 				Kind:      proto.KindResponse,
 				Status:    resp.Status,
 				TypeID:    uint16(resp.Type & 0xFFFF),
 				RequestID: reqID,
 			}, resp.Payload)
+			msg = proto.AppendTiming(msg, proto.Timing{Queue: resp.QueueDelay, Service: resp.Service})
 			binary.LittleEndian.PutUint32(msg[:4], uint32(len(msg)-4))
 			writeMu.Lock()
 			conn.Write(msg) //nolint:errcheck // client may have gone
@@ -245,12 +246,17 @@ func (c *TCPClient) readLoop() {
 		}
 		c.mu.Unlock()
 		if ok {
-			ch <- Response{
+			resp := Response{
 				RequestID: hdr.RequestID,
 				Type:      int(int16(hdr.TypeID)),
 				Status:    hdr.Status,
 				Payload:   append([]byte(nil), payload...),
 			}
+			if tm, has := proto.DecodeTiming(frame, hdr); has {
+				resp.QueueDelay = tm.Queue
+				resp.Service = tm.Service
+			}
+			ch <- resp
 		}
 	}
 }

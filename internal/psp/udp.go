@@ -112,15 +112,17 @@ func (u *UDPServer) netWorker() {
 		addr := from
 		conn := u.conn
 		req.respond = func(resp Response) {
-			// Workers transmit directly; the 16-byte header plus the
-			// response payload go out in one datagram.
-			var out [2048]byte
+			// Workers transmit directly; the 16-byte header, the
+			// response payload, and the lifecycle timing trailer go out
+			// in one datagram.
+			var out [2048 + proto.TimingSize]byte
 			msg := proto.AppendMessage(out[:0], proto.Header{
 				Kind:      proto.KindResponse,
 				Status:    resp.Status,
 				TypeID:    uint16(resp.Type & 0xFFFF),
 				RequestID: reqID,
 			}, resp.Payload)
+			msg = proto.AppendTiming(msg, proto.Timing{Queue: resp.QueueDelay, Service: resp.Service})
 			conn.WriteToUDP(msg, addr) //nolint:errcheck // fire-and-forget UDP
 		}
 		if !u.Server.inject(req) {

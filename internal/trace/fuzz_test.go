@@ -32,3 +32,44 @@ func FuzzRead(f *testing.F) {
 		}
 	})
 }
+
+// FuzzReadSpans asserts the lifecycle span parser never panics on
+// arbitrary input, and that every accepted dump survives a
+// write→read round trip unchanged (parse(dump(spans)) == spans).
+func FuzzReadSpans(f *testing.F) {
+	f.Add(spanHeader + "\n")
+	f.Add(spanHeader + "\n1,0,0,0,1,2,3,5,105,107\n")
+	f.Add(spanHeader + "\n2,-1,1,10,11,12,20,21,2021,2022\n")
+	f.Add("offset_ns,type,service_ns\n0,0,500\n")
+	f.Add("")
+	f.Add("garbage")
+	f.Add(spanHeader + "\n1,0,0,-1,0,0,0,0,0,0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		spans, err := ReadSpans(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteSpans(&buf, spans); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ReadSpans(&buf)
+		if err != nil {
+			t.Fatalf("accepted dump did not round-trip: %v", err)
+		}
+		if len(again) != len(spans) {
+			t.Fatalf("round trip changed length: %d vs %d", len(again), len(spans))
+		}
+		for i := range spans {
+			if again[i] != spans[i] {
+				t.Fatalf("span %d changed: %+v vs %+v", i, again[i], spans[i])
+			}
+		}
+		// ReadAuto must agree with the dedicated parser on span dumps.
+		if _, err := ReadAuto(strings.NewReader(input)); err != nil {
+			// ReadAuto additionally validates the projected trace; it
+			// may reject what ReadSpans accepts, but must not panic.
+			return
+		}
+	})
+}

@@ -1,0 +1,230 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Span is one completed request's lifecycle decomposition as captured
+// by the live runtime: every stage the request crossed, stamped as an
+// offset since server start. Spans are what the paper's queueing-delay
+// figures are made of — the arrival-format Trace only says when work
+// arrived, a Span additionally says where its time went.
+//
+// The on-disk format is CSV with a header, one line per span:
+//
+//	id,type,worker,ingress_ns,classified_ns,enqueued_ns,dispatched_ns,started_ns,finished_ns,replied_ns
+type Span struct {
+	// ID is the server-assigned request id.
+	ID uint64
+	// Type is the classified request type (negative = unknown).
+	Type int
+	// Worker is the application worker that served the request.
+	Worker int
+	// Ingress is when the request entered the pipeline (net worker or
+	// in-process submit).
+	Ingress time.Duration
+	// Classified is when the dispatcher finished typing the payload.
+	Classified time.Duration
+	// Enqueued is when the request was parked in its typed queue.
+	Enqueued time.Duration
+	// Dispatched is when the dispatcher handed it to a worker ring.
+	Dispatched time.Duration
+	// Started is when the worker began executing the handler.
+	Started time.Duration
+	// Finished is when the handler returned.
+	Finished time.Duration
+	// Replied is when the response left the worker.
+	Replied time.Duration
+}
+
+// QueueDelay reports the paper's queueing delay: ingress to worker
+// service start.
+func (s Span) QueueDelay() time.Duration { return s.Started - s.Ingress }
+
+// Service reports the measured handler execution time.
+func (s Span) Service() time.Duration { return s.Finished - s.Started }
+
+// Sojourn reports the full server-side residence time.
+func (s Span) Sojourn() time.Duration { return s.Replied - s.Ingress }
+
+// spanHeader is the first line of a span CSV dump; ReadAuto uses it to
+// distinguish span dumps from arrival traces.
+const spanHeader = "id,type,worker,ingress_ns,classified_ns,enqueued_ns,dispatched_ns,started_ns,finished_ns,replied_ns"
+
+const spanFields = 10
+
+// SpanWriter streams spans to an io.Writer in the CSV dump format. It
+// is not safe for concurrent use; callers serialize (the live runtime
+// invokes the trace sink under its drain lock).
+type SpanWriter struct {
+	bw     *bufio.Writer
+	wrote  bool
+	count  int
+	failed error
+}
+
+// NewSpanWriter wraps w; the header is emitted before the first span.
+func NewSpanWriter(w io.Writer) *SpanWriter {
+	return &SpanWriter{bw: bufio.NewWriter(w)}
+}
+
+// Write appends one span. Errors are sticky and also returned by
+// Flush.
+func (sw *SpanWriter) Write(s Span) error {
+	if sw.failed != nil {
+		return sw.failed
+	}
+	if !sw.wrote {
+		sw.wrote = true
+		if _, err := sw.bw.WriteString(spanHeader + "\n"); err != nil {
+			sw.failed = err
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(sw.bw, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		s.ID, s.Type, s.Worker,
+		int64(s.Ingress), int64(s.Classified), int64(s.Enqueued), int64(s.Dispatched),
+		int64(s.Started), int64(s.Finished), int64(s.Replied))
+	if err != nil {
+		sw.failed = err
+		return err
+	}
+	sw.count++
+	return nil
+}
+
+// Count reports spans written so far.
+func (sw *SpanWriter) Count() int { return sw.count }
+
+// Flush drains buffered output (emitting the header even for an empty
+// dump, so the file parses).
+func (sw *SpanWriter) Flush() error {
+	if sw.failed != nil {
+		return sw.failed
+	}
+	if !sw.wrote {
+		sw.wrote = true
+		if _, err := sw.bw.WriteString(spanHeader + "\n"); err != nil {
+			sw.failed = err
+			return err
+		}
+	}
+	if err := sw.bw.Flush(); err != nil {
+		sw.failed = err
+	}
+	return sw.failed
+}
+
+// WriteSpans serialises a span dump.
+func WriteSpans(w io.Writer, spans []Span) error {
+	sw := NewSpanWriter(w)
+	for _, s := range spans {
+		if err := sw.Write(s); err != nil {
+			return err
+		}
+	}
+	return sw.Flush()
+}
+
+// ReadSpans parses a span CSV dump. Malformed lines are rejected with
+// an error naming the line; negative stage offsets are refused (type
+// may be negative: unknown requests classify as -1).
+func ReadSpans(r io.Reader) ([]Span, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var spans []Span
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if line == 1 {
+			if text != spanHeader {
+				return nil, fmt.Errorf("trace: line 1: not a span dump (want header %q)", spanHeader)
+			}
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != spanFields {
+			return nil, fmt.Errorf("trace: line %d: want %d fields, got %d", line, spanFields, len(parts))
+		}
+		var s Span
+		id, err := strconv.ParseUint(strings.TrimSpace(parts[0]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad id: %w", line, err)
+		}
+		s.ID = id
+		s.Type, err = strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad type: %w", line, err)
+		}
+		s.Worker, err = strconv.Atoi(strings.TrimSpace(parts[2]))
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad worker: %w", line, err)
+		}
+		stages := []*time.Duration{&s.Ingress, &s.Classified, &s.Enqueued, &s.Dispatched, &s.Started, &s.Finished, &s.Replied}
+		for i, dst := range stages {
+			v, err := strconv.ParseInt(strings.TrimSpace(parts[3+i]), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad stage %d: %w", line, i, err)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("trace: line %d: negative stage offset %d", line, v)
+			}
+			*dst = time.Duration(v)
+		}
+		spans = append(spans, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return spans, nil
+}
+
+// SpanTrace projects a span dump down to an arrival trace replayable
+// by the simulator: offset = ingress instant, service = the measured
+// handler time (clamped to 1ns so Validate accepts instant handlers).
+// Unknown-type spans (Type < 0) are skipped — the simulator's typed
+// policies have no queue for them.
+func SpanTrace(spans []Span) *Trace {
+	t := &Trace{}
+	for _, s := range spans {
+		if s.Type < 0 {
+			continue
+		}
+		svc := s.Service()
+		if svc < time.Nanosecond {
+			svc = time.Nanosecond
+		}
+		t.Records = append(t.Records, Record{Offset: s.Ingress, Type: s.Type, Service: svc})
+	}
+	t.Sort()
+	return t
+}
+
+// ReadAuto parses either format: a lifecycle span dump (converted to
+// its arrival trace via SpanTrace) or a plain arrival trace. The
+// format is decided by the header line.
+func ReadAuto(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, _ := br.Peek(len(spanHeader))
+	if string(head) == spanHeader {
+		spans, err := ReadSpans(br)
+		if err != nil {
+			return nil, err
+		}
+		t := SpanTrace(spans)
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+		return t, nil
+	}
+	return Read(br)
+}

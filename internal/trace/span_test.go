@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleSpans() []Span {
+	us := time.Microsecond
+	return []Span{
+		{ID: 1, Type: 0, Worker: 0, Ingress: 0, Classified: us, Enqueued: 2 * us, Dispatched: 3 * us, Started: 5 * us, Finished: 105 * us, Replied: 107 * us},
+		{ID: 2, Type: 1, Worker: 1, Ingress: 10 * us, Classified: 11 * us, Enqueued: 12 * us, Dispatched: 20 * us, Started: 21 * us, Finished: 2021 * us, Replied: 2022 * us},
+		{ID: 3, Type: -1, Worker: 0, Ingress: 30 * us, Classified: 31 * us, Enqueued: 32 * us, Dispatched: 40 * us, Started: 41 * us, Finished: 42 * us, Replied: 43 * us},
+	}
+}
+
+func TestSpanRoundTrip(t *testing.T) {
+	spans := sampleSpans()
+	var buf bytes.Buffer
+	if err := WriteSpans(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSpans(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(spans) {
+		t.Fatalf("round trip: %d spans, want %d", len(got), len(spans))
+	}
+	for i := range spans {
+		if got[i] != spans[i] {
+			t.Fatalf("span %d changed:\n got %+v\nwant %+v", i, got[i], spans[i])
+		}
+	}
+}
+
+func TestSpanDerivedDurations(t *testing.T) {
+	sp := sampleSpans()[0]
+	if got := sp.QueueDelay(); got != 5*time.Microsecond {
+		t.Fatalf("QueueDelay %v", got)
+	}
+	if got := sp.Service(); got != 100*time.Microsecond {
+		t.Fatalf("Service %v", got)
+	}
+	if got := sp.Sojourn(); got != 107*time.Microsecond {
+		t.Fatalf("Sojourn %v", got)
+	}
+}
+
+func TestSpanWriterEmptyDump(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewSpanWriter(&buf)
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSpans(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("empty dump does not parse: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty dump yielded %d spans", len(got))
+	}
+}
+
+func TestReadSpansRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no header":      "1,0,0,0,0,0,0,0,0,0\n",
+		"wrong header":   "offset_ns,type,service_ns\n0,0,500\n",
+		"short line":     spanHeader + "\n1,0,0\n",
+		"long line":      spanHeader + "\n1,0,0,0,0,0,0,0,0,0,0\n",
+		"bad id":         spanHeader + "\nx,0,0,0,0,0,0,0,0,0\n",
+		"negative id":    spanHeader + "\n-1,0,0,0,0,0,0,0,0,0\n",
+		"bad type":       spanHeader + "\n1,z,0,0,0,0,0,0,0,0\n",
+		"bad stage":      spanHeader + "\n1,0,0,?,0,0,0,0,0,0\n",
+		"negative stage": spanHeader + "\n1,0,0,-5,0,0,0,0,0,0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadSpans(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+// failAfter fails every write once n bytes have been accepted.
+type failAfter struct {
+	n   int
+	err error
+}
+
+func (w *failAfter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	if len(p) > w.n {
+		p = p[:w.n]
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestSpanWriterStickyError(t *testing.T) {
+	sink := &failAfter{n: 0, err: bytes.ErrTooLarge}
+	sw := NewSpanWriter(sink)
+	// The buffered writer only hits the sink at Flush.
+	for i := 0; i < 4096; i++ {
+		sw.Write(Span{ID: uint64(i)}) //nolint:errcheck
+	}
+	if err := sw.Flush(); err == nil {
+		t.Fatal("flush to failing writer succeeded")
+	}
+	if err := sw.Write(Span{ID: 9}); err == nil {
+		t.Fatal("write after failure succeeded")
+	}
+	if err := sw.Flush(); err == nil {
+		t.Fatal("sticky error cleared by second flush")
+	}
+	if err := WriteSpans(&failAfter{n: 0, err: bytes.ErrTooLarge}, sampleSpans()); err == nil {
+		t.Fatal("WriteSpans to failing writer succeeded")
+	}
+}
+
+func TestSpanWriterCount(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewSpanWriter(&buf)
+	if sw.Count() != 0 {
+		t.Fatalf("fresh writer count %d", sw.Count())
+	}
+	for i, sp := range sampleSpans() {
+		if err := sw.Write(sp); err != nil {
+			t.Fatal(err)
+		}
+		if sw.Count() != i+1 {
+			t.Fatalf("count %d after %d writes", sw.Count(), i+1)
+		}
+	}
+}
+
+func TestReadAutoRejectsBadSpanDump(t *testing.T) {
+	// Correct header, malformed body: ReadAuto must surface the span
+	// parser's error rather than misreading it as an arrival trace.
+	in := spanHeader + "\n1,0,oops,0,0,0,0,0,0,0\n"
+	if _, err := ReadAuto(strings.NewReader(in)); err == nil {
+		t.Fatal("malformed span dump accepted")
+	}
+}
+
+func TestSpanTraceProjection(t *testing.T) {
+	spans := sampleSpans()
+	tr := SpanTrace(spans)
+	// The Type=-1 span is dropped: the simulator's typed policies have
+	// no queue for unclassifiable requests.
+	if tr.Len() != 2 {
+		t.Fatalf("projected %d records, want 2", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Records[0].Offset != spans[0].Ingress || tr.Records[0].Service != spans[0].Service() {
+		t.Fatalf("record 0 %+v does not match span %+v", tr.Records[0], spans[0])
+	}
+	// Instant handlers clamp to 1ns so Validate accepts the trace.
+	clamped := SpanTrace([]Span{{ID: 9, Type: 0, Started: 5, Finished: 5, Replied: 6}})
+	if clamped.Records[0].Service != time.Nanosecond {
+		t.Fatalf("zero service not clamped: %v", clamped.Records[0].Service)
+	}
+}
+
+func TestReadAutoBothFormats(t *testing.T) {
+	// Span dump → projected arrival trace.
+	var spanBuf bytes.Buffer
+	if err := WriteSpans(&spanBuf, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadAuto(bytes.NewReader(spanBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("span dump via ReadAuto: %d records, want 2", tr.Len())
+	}
+	// Plain arrival trace passes through untouched.
+	arrivals := "offset_ns,type,service_ns\n0,0,500\n800,1,500000\n"
+	tr, err = ReadAuto(strings.NewReader(arrivals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("arrival trace via ReadAuto: %d records, want 2", tr.Len())
+	}
+	// Empty input behaves like Read: an empty trace, not an error.
+	tr, err = ReadAuto(strings.NewReader(""))
+	if err != nil || tr.Len() != 0 {
+		t.Fatalf("empty input: %v, %d records", err, tr.Len())
+	}
+}

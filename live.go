@@ -9,6 +9,7 @@ import (
 	"repro/internal/loadgen"
 	"repro/internal/proto"
 	"repro/internal/psp"
+	"repro/internal/trace"
 )
 
 // Live runtime facade ---------------------------------------------------
@@ -80,7 +81,19 @@ type LiveConfig struct {
 	// Faults optionally enables the chaos layer with the given fault
 	// profile (see internal/faults); nil injects nothing.
 	Faults *FaultProfile
+	// TraceCap sets each worker's lifecycle span ring capacity
+	// (default 4096); negative disables lifecycle tracing.
+	TraceCap int
+	// TraceSink, when non-nil, receives every lifecycle span drained
+	// by the stats path — e.g. a trace.SpanWriter dumping the live
+	// run for simulator replay. Called under the drain lock; keep it
+	// fast and do not call back into the server.
+	TraceSink func(TraceSpan)
 }
+
+// TraceSpan is one completed request's lifecycle record (see
+// internal/trace.Span).
+type TraceSpan = trace.Span
 
 // FaultProfile configures the deterministic fault injector; build one
 // with ParseFaultProfile or a faults.Profile literal.
@@ -122,6 +135,8 @@ func buildLiveServer(cfg LiveConfig) (*psp.Server, error) {
 		DARC:       dcfg,
 		QueueCap:   cfg.QueueCap,
 		Faults:     cfg.Faults,
+		TraceCap:   cfg.TraceCap,
+		TraceSink:  cfg.TraceSink,
 	})
 }
 
