@@ -1,0 +1,187 @@
+package persephone_test
+
+// TestPublicAPISurface pins the root package's exported API in a
+// golden file. A deliberate API change regenerates the file with
+// `go test . -run PublicAPISurface -update`; an accidental one fails
+// here with a diff. The summary deliberately includes exported struct
+// fields and drops bodies and unexported details, so internal
+// refactors stay invisible while any user-facing change shows up.
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPIGolden = flag.Bool("update", false, "rewrite the API surface golden file")
+
+func TestPublicAPISurface(t *testing.T) {
+	lines := apiSurface(t, ".")
+	got := strings.Join(lines, "\n") + "\n"
+	golden := filepath.Join("testdata", "api_surface.golden")
+	if *updateAPIGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d symbols)", golden, len(lines))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v — regenerate with: go test . -run PublicAPISurface -update", err)
+	}
+	if got != string(want) {
+		t.Fatalf("public API surface changed (run `go test . -run PublicAPISurface -update` if deliberate):\n%s",
+			surfaceDiff(string(want), got))
+	}
+}
+
+// apiSurface renders one sorted line per exported symbol of the
+// package in dir: funcs and methods with full signatures, types with
+// their kind, each exported struct field, and const/var names.
+func apiSurface(t *testing.T, dir string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["persephone"]
+	if !ok {
+		t.Fatalf("package persephone not found in %s (have %v)", dir, pkgs)
+	}
+	render := func(n ast.Node) string {
+		var buf bytes.Buffer
+		if err := printer.Fprint(&buf, fset, n); err != nil {
+			t.Fatal(err)
+		}
+		// Signatures must be single lines for a stable sorted listing.
+		return strings.Join(strings.Fields(buf.String()), " ")
+	}
+	var lines []string
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv != nil {
+					recvType := render(d.Recv.List[0].Type)
+					if !ast.IsExported(strings.TrimPrefix(recvType, "*")) {
+						continue
+					}
+					lines = append(lines, fmt.Sprintf("method (%s) %s%s", recvType, d.Name.Name, renderSig(render, d.Type)))
+					continue
+				}
+				lines = append(lines, fmt.Sprintf("func %s%s", d.Name.Name, renderSig(render, d.Type)))
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if !s.Name.IsExported() {
+							continue
+						}
+						lines = append(lines, typeLines(render, s)...)
+					case *ast.ValueSpec:
+						kind := "var"
+						if d.Tok == token.CONST {
+							kind = "const"
+						}
+						for _, name := range s.Names {
+							if name.IsExported() {
+								lines = append(lines, kind+" "+name.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// renderSig prints a func type's parameters and results without the
+// leading "func" keyword.
+func renderSig(render func(ast.Node) string, ft *ast.FuncType) string {
+	return strings.TrimPrefix(render(ft), "func")
+}
+
+// typeLines emits the type's header line plus one line per exported
+// struct field (field types are API surface; unexported fields and
+// method bodies are not).
+func typeLines(render func(ast.Node) string, s *ast.TypeSpec) []string {
+	name := s.Name.Name
+	eq := ""
+	if s.Assign.IsValid() {
+		eq = "= "
+	}
+	switch tt := s.Type.(type) {
+	case *ast.StructType:
+		lines := []string{fmt.Sprintf("type %s %sstruct", name, eq)}
+		for _, f := range tt.Fields.List {
+			for _, fn := range f.Names {
+				if fn.IsExported() {
+					lines = append(lines, fmt.Sprintf("field %s.%s %s", name, fn.Name, render(f.Type)))
+				}
+			}
+		}
+		return lines
+	case *ast.InterfaceType:
+		lines := []string{fmt.Sprintf("type %s %sinterface", name, eq)}
+		for _, m := range tt.Methods.List {
+			for _, mn := range m.Names {
+				if mn.IsExported() {
+					lines = append(lines, fmt.Sprintf("ifacemethod %s.%s%s", name, mn.Name,
+						renderSig(render, m.Type.(*ast.FuncType))))
+				}
+			}
+		}
+		return lines
+	default:
+		return []string{fmt.Sprintf("type %s %s%s", name, eq, render(s.Type))}
+	}
+}
+
+// surfaceDiff reports the symbols added and removed, which reads
+// better than a raw byte diff of two sorted listings.
+func surfaceDiff(want, got string) string {
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(strings.TrimSpace(want), "\n") {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range strings.Split(strings.TrimSpace(got), "\n") {
+		gotSet[l] = true
+	}
+	var b strings.Builder
+	for _, l := range strings.Split(strings.TrimSpace(got), "\n") {
+		if !wantSet[l] {
+			fmt.Fprintf(&b, "+ %s\n", l)
+		}
+	}
+	for _, l := range strings.Split(strings.TrimSpace(want), "\n") {
+		if !gotSet[l] {
+			fmt.Fprintf(&b, "- %s\n", l)
+		}
+	}
+	if b.Len() == 0 {
+		return "(ordering or duplicate-line change)"
+	}
+	return b.String()
+}

@@ -12,14 +12,41 @@ import (
 	"encoding/binary"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	persephone "repro"
 )
 
+// expandShards turns "host:9940" with n=4 into
+// "host:9940,host:9941,host:9942,host:9943" — the consecutive ports a
+// sharded psp-server binds. An -addr already naming several shards
+// passes through untouched.
+func expandShards(addr string, n int) (string, error) {
+	if n <= 1 || strings.Contains(addr, ",") {
+		return addr, nil
+	}
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "", fmt.Errorf("-shards needs -addr host:port: %w", err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return "", fmt.Errorf("-shards needs a numeric port in -addr: %w", err)
+	}
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = net.JoinHostPort(host, strconv.Itoa(port+i))
+	}
+	return strings.Join(parts, ","), nil
+}
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:9940", "server UDP address")
+	addr := flag.String("addr", "127.0.0.1:9940", "server UDP address, or comma-separated shard list")
+	shards := flag.Int("shards", 1, "expand -addr into this many consecutive-port shard addresses")
 	workloadName := flag.String("workload", "high-bimodal", "workload mix (type ratios)")
 	rate := flag.Float64("rate", 5000, "offered requests per second")
 	duration := flag.Duration("duration", 5*time.Second, "generation duration")
@@ -35,7 +62,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	res, err := persephone.GenerateLoadUDP(*addr, persephone.LoadConfig{
+	target, err := expandShards(*addr, *shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	res, err := persephone.GenerateLoadUDP(target, persephone.LoadConfig{
 		Mix:             mix,
 		Rate:            *rate,
 		Duration:        *duration,

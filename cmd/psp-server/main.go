@@ -32,7 +32,9 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:9940", "UDP listen address")
+	addr := flag.String("addr", "127.0.0.1:9940", "UDP listen address (shard i binds port+i)")
+	shards := flag.Int("shards", 1, "UDP ingress shards, one socket + net worker each")
+	burst := flag.Int("burst", 32, "max datagrams a net worker drains per wakeup")
 	workers := flag.Int("workers", 4, "application worker goroutines")
 	app := flag.String("app", "synthetic", "application: synthetic, kv, tpcc")
 	workloadName := flag.String("workload", "high-bimodal", "synthetic app: workload defining per-type service times")
@@ -47,6 +49,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	cfg.NetShards = *shards
+	cfg.RxBurst = *burst
 	if *faultSpec != "" {
 		profile, err := persephone.ParseFaultProfile(*faultSpec)
 		if err != nil {
@@ -68,18 +72,18 @@ func main() {
 			spanW.Write(sp) //nolint:errcheck // sticky, reported at Flush
 		}
 	}
-	udp, err := persephone.ServeUDP(*addr, cfg)
+	ln, err := persephone.Listen("udp", *addr, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("psp-server: %s app on %s, %d workers, policy %s\n",
-		*app, udp.Addr(), *workers, policyName(*cfcfs))
+	fmt.Printf("psp-server: %s app on %s (%d shard(s), burst %d), %d workers, policy %s\n",
+		*app, ln.AddrStrings(), *shards, *burst, *workers, policyName(*cfcfs))
 	if cfg.Faults != nil {
 		fmt.Printf("chaos profile active: %s\n", cfg.Faults)
 	}
 	if *metricsAddr != "" {
-		bound, shutdown, err := udp.Server.ServeMetrics(*metricsAddr)
+		bound, shutdown, err := ln.Server().ServeMetrics(*metricsAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -102,7 +106,7 @@ func main() {
 			for {
 				select {
 				case <-tick.C:
-					udp.Server.FlushTrace()
+					ln.Server().FlushTrace()
 				case <-stopFlush:
 					return
 				}
@@ -114,8 +118,8 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 
-	st := udp.Server.StatsSnapshot()
-	udp.Close()
+	st := ln.Server().StatsSnapshot()
+	ln.Close()
 	close(stopFlush)
 	flushWG.Wait()
 	if spanW != nil {
@@ -128,10 +132,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
 		}
 		fmt.Printf("wrote %d lifecycle spans to %s (lost %d to full rings)\n",
-			spanW.Count(), *traceOut, udp.Server.StatsSnapshot().TraceLost)
+			spanW.Count(), *traceOut, ln.Server().StatsSnapshot().TraceLost)
 	}
-	fmt.Printf("\nenqueued %d  dispatched %d  dropped %d  reservation updates %d  rx drops %d\n",
-		st.Enqueued, st.Dispatched, st.Dropped, st.Updates, udp.RxDrops())
+	fmt.Printf("\nenqueued %d  dispatched %d  dropped %d  reservation updates %d  rx drops %d  rx sheds %d\n",
+		st.Enqueued, st.Dispatched, st.Dropped, st.Updates, ln.RxDrops(), ln.RxSheds())
 	if st.FaultsInjected > 0 || st.RetriesSeen > 0 {
 		fmt.Printf("faults injected %d  worker restarts %d  client retries seen %d\n",
 			st.FaultsInjected, st.WorkerRestarts, st.RetriesSeen)

@@ -1,7 +1,9 @@
 package loadgen
 
 import (
+	"errors"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,24 +17,45 @@ import (
 // open-loop client, extended with per-request timeouts and capped,
 // jittered exponential-backoff retransmission for lossy paths.
 //
+// serverAddr may name several ingress shards as a comma-separated
+// list ("host:9940,host:9941"); requests are spread round-robin over
+// the shards (client-side shard selection), each with its own socket
+// and receiver, matching the server's sharded datapath.
+//
 // Each request has exactly one recorded outcome: a latency sample
 // (measured from the first transmission, so retries do not reset the
 // clock), a drop (the server answered with a drop status), or a
 // timeout (no response within RequestTimeout across 1+MaxRetries
 // transmissions, or still unanswered when the final drain gives up).
 func RunUDP(serverAddr string, cfg Config) (*Result, error) {
+	return RunUDPAddrs(strings.Split(serverAddr, ","), cfg)
+}
+
+// RunUDPAddrs is RunUDP with the shard list passed explicitly.
+func RunUDPAddrs(addrs []string, cfg Config) (*Result, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-	addr, err := net.ResolveUDPAddr("udp", serverAddr)
-	if err != nil {
-		return nil, err
+	if len(addrs) == 0 {
+		return nil, errors.New("loadgen: no server address")
 	}
-	conn, err := net.DialUDP("udp", nil, addr)
-	if err != nil {
-		return nil, err
+	conns := make([]*net.UDPConn, 0, len(addrs))
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	for _, a := range addrs {
+		addr, err := net.ResolveUDPAddr("udp", strings.TrimSpace(a))
+		if err != nil {
+			return nil, err
+		}
+		conn, err := net.DialUDP("udp", nil, addr)
+		if err != nil {
+			return nil, err
+		}
+		conns = append(conns, conn)
 	}
-	defer conn.Close()
 
 	r := rng.New(cfg.Seed)
 	jitterRNG := r.Split()
@@ -41,45 +64,49 @@ func RunUDP(serverAddr string, cfg Config) (*Result, error) {
 	inflight := make(map[uint64]*pendingReq)
 	var received, dropped, timedOut, retries atomic.Uint64
 
-	// Receiver: match responses to sends. Responses to requests
-	// already expired (or duplicate responses) find no record and are
-	// ignored, so nothing is double counted.
-	recvDone := make(chan struct{})
-	go func() {
-		defer close(recvDone)
-		buf := make([]byte, 4096)
-		for {
-			n, err := conn.Read(buf)
-			if err != nil {
-				return // deadline or close
+	// Receivers, one per shard socket: match responses to sends.
+	// Responses to requests already expired (or duplicate responses)
+	// find no record and are ignored, so nothing is double counted.
+	var recvWG sync.WaitGroup
+	for _, conn := range conns {
+		recvWG.Add(1)
+		go func(conn *net.UDPConn) {
+			defer recvWG.Done()
+			buf := make([]byte, 4096)
+			for {
+				n, err := conn.Read(buf)
+				if err != nil {
+					return // deadline or close
+				}
+				h, _, perr := proto.DecodeHeader(buf[:n])
+				if perr != nil || h.Kind != proto.KindResponse {
+					continue
+				}
+				mu.Lock()
+				rec, ok := inflight[h.RequestID]
+				if ok {
+					delete(inflight, h.RequestID)
+				}
+				mu.Unlock()
+				if !ok {
+					continue
+				}
+				if h.Status != proto.StatusOK {
+					dropped.Add(1)
+					continue
+				}
+				lat := time.Since(rec.firstSent)
+				received.Add(1)
+				mu.Lock()
+				res.Latency[rec.typ].RecordDuration(lat)
+				res.Overall.RecordDuration(lat)
+				mu.Unlock()
 			}
-			h, _, perr := proto.DecodeHeader(buf[:n])
-			if perr != nil || h.Kind != proto.KindResponse {
-				continue
-			}
-			mu.Lock()
-			rec, ok := inflight[h.RequestID]
-			if ok {
-				delete(inflight, h.RequestID)
-			}
-			mu.Unlock()
-			if !ok {
-				continue
-			}
-			if h.Status != proto.StatusOK {
-				dropped.Add(1)
-				continue
-			}
-			lat := time.Since(rec.firstSent)
-			received.Add(1)
-			mu.Lock()
-			res.Latency[rec.typ].RecordDuration(lat)
-			res.Overall.RecordDuration(lat)
-			mu.Unlock()
-		}
-	}()
+		}(conn)
+	}
 
 	// Retransmitter: expire or re-send requests whose deadline passed.
+	// Retransmissions go out on the request's original shard socket.
 	// Only runs when per-request timeouts are configured.
 	retryStop := make(chan struct{})
 	retryDone := make(chan struct{})
@@ -102,7 +129,7 @@ func RunUDP(serverAddr string, cfg Config) (*Result, error) {
 				case <-ticker.C:
 				}
 				now := time.Now()
-				var resend [][]byte
+				var resend []*pendingReq
 				mu.Lock()
 				for id, rec := range inflight {
 					if now.Before(rec.deadline) {
@@ -119,11 +146,11 @@ func RunUDP(serverAddr string, cfg Config) (*Result, error) {
 					rec.msg[3] = byte(rec.attempts)
 					backoff := cfg.backoffFor(rec.attempts, jitterRNG.Float64())
 					rec.deadline = now.Add(cfg.RequestTimeout + backoff)
-					resend = append(resend, rec.msg)
+					resend = append(resend, rec)
 				}
 				mu.Unlock()
-				for _, msg := range resend {
-					conn.Write(msg) //nolint:errcheck // fire-and-forget UDP
+				for _, rec := range resend {
+					conns[rec.shard].Write(rec.msg) //nolint:errcheck // fire-and-forget UDP
 					retries.Add(1)
 				}
 			}
@@ -144,19 +171,20 @@ func RunUDP(serverAddr string, cfg Config) (*Result, error) {
 		}
 		typ := pickType(cfg.Mix, r)
 		id++
+		shard := int(id % uint64(len(conns)))
 		msg := proto.AppendMessage(nil, proto.Header{
 			Kind:      proto.KindRequest,
 			RequestID: id,
 		}, cfg.BuildPayload(typ))
 		now := time.Now()
-		rec := &pendingReq{typ: typ, firstSent: now, msg: msg}
+		rec := &pendingReq{typ: typ, shard: shard, firstSent: now, msg: msg}
 		if cfg.RequestTimeout > 0 {
 			rec.deadline = now.Add(cfg.RequestTimeout)
 		}
 		mu.Lock()
 		inflight[id] = rec
 		mu.Unlock()
-		if _, err := conn.Write(msg); err != nil {
+		if _, err := conns[shard].Write(msg); err != nil {
 			mu.Lock()
 			delete(inflight, id)
 			mu.Unlock()
@@ -166,7 +194,7 @@ func RunUDP(serverAddr string, cfg Config) (*Result, error) {
 	}
 
 	// Grace period for stragglers (retransmission keeps running), then
-	// unblock the receiver.
+	// unblock the receivers.
 	deadline := time.Now().Add(cfg.Timeout)
 	for time.Now().Before(deadline) {
 		mu.Lock()
@@ -179,8 +207,10 @@ func RunUDP(serverAddr string, cfg Config) (*Result, error) {
 	}
 	close(retryStop)
 	<-retryDone
-	conn.SetReadDeadline(time.Now()) //nolint:errcheck
-	<-recvDone
+	for _, conn := range conns {
+		conn.SetReadDeadline(time.Now()) //nolint:errcheck
+	}
+	recvWG.Wait()
 
 	// Whatever is still unanswered is a loss, recorded explicitly so it
 	// cannot silently skew achieved-rate or quantile statistics.
@@ -196,10 +226,12 @@ func RunUDP(serverAddr string, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// pendingReq tracks one unanswered request: its encoded message,
-// first-send time for retry-aware latency, and retransmission state.
+// pendingReq tracks one unanswered request: its encoded message, the
+// shard socket it was sent on, first-send time for retry-aware
+// latency, and retransmission state.
 type pendingReq struct {
 	typ       int
+	shard     int
 	firstSent time.Time
 	attempts  int
 	deadline  time.Time

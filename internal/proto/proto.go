@@ -116,6 +116,23 @@ func AppendMessage(dst []byte, h Header, payload []byte) []byte {
 	return append(dst, payload...)
 }
 
+// ResponseOverhead is the fixed per-response framing cost: the header
+// plus the timing trailer. A buffer of cap >= ResponseOverhead+len(payload)
+// holds a full response message; the live runtime sizes its pooled
+// network buffers with this so the ingress buffer can be reused for
+// the egress frame without reallocating.
+const ResponseOverhead = HeaderSize + TimingSize
+
+// AppendResponse encodes a complete response message — header,
+// payload, timing trailer — into dst, returning the extended slice.
+// It is the one egress framing path shared by the UDP and TCP
+// transports.
+func AppendResponse(dst []byte, h Header, payload []byte, t Timing) []byte {
+	h.Kind = KindResponse
+	dst = AppendMessage(dst, h, payload)
+	return AppendTiming(dst, t)
+}
+
 // TimingMagic guards the optional timing trailer servers append after
 // the response payload.
 const TimingMagic uint16 = 0x7454

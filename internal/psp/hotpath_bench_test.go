@@ -129,3 +129,77 @@ func BenchmarkDispatchHotPathUntraced(b *testing.B) {
 		driveHotPath(srv, r)
 	}
 }
+
+// drainOne pulls the next ingress request and walks it through the
+// same classify→enqueue→dispatch→serve→trace steps driveHotPath
+// performs, minus the injection (already done by the batch path).
+func drainOne(srv *Server) bool {
+	r, ok := srv.ingress.TryGet()
+	if !ok {
+		return false
+	}
+	r.typ = srv.cfg.Classifier.Classify(r.payload)
+	r.classified = srv.now()
+	srv.enqueue(r)
+	srv.dispatch()
+	got := srv.rings[0].Get()
+	started := srv.now()
+	finished := srv.now()
+	srv.traceSpan(0, got, started, finished, srv.now())
+	srv.free[0] = true
+	srv.FlushTrace()
+	return true
+}
+
+// TestInjectBatchZeroAlloc extends the zero-alloc budget to the
+// batched ingress path: stamping and ring-reserving a whole burst,
+// then dispatching it, must not touch the heap either.
+func TestInjectBatchZeroAlloc(t *testing.T) {
+	srv := newHotPathServer(t)
+	payload := typedPayload(0, "hot")
+	batch := make([]*Request, 32)
+	for i := range batch {
+		batch[i] = &Request{payload: payload}
+	}
+	cycle := func() {
+		if n := srv.injectBatch(batch); n != len(batch) {
+			t.Fatalf("injectBatch accepted %d of %d", n, len(batch))
+		}
+		for drainOne(srv) {
+		}
+	}
+	for i := 0; i < 8; i++ {
+		cycle() // warm amortized growth out of the measurement
+	}
+	avg := testing.AllocsPerRun(200, cycle)
+	if avg != 0 {
+		t.Fatalf("batched ingress path allocates %.2f objects per burst, want 0", avg)
+	}
+}
+
+// BenchmarkDispatchHotPathBatch is BenchmarkDispatchHotPath with the
+// burst ingress: one injectBatch reservation for 32 requests, then the
+// usual per-request pipeline. The ns/req metric is comparable to
+// BenchmarkDispatchHotPath's ns/op.
+func BenchmarkDispatchHotPathBatch(b *testing.B) {
+	srv := newHotPathServer(b)
+	payload := typedPayload(0, "hot")
+	batch := make([]*Request, 32)
+	for i := range batch {
+		batch[i] = &Request{payload: payload}
+	}
+	for i := 0; i < 8; i++ {
+		srv.injectBatch(batch)
+		for drainOne(srv) {
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.injectBatch(batch)
+		for drainOne(srv) {
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(batch)), "ns/req")
+}

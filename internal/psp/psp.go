@@ -51,6 +51,9 @@ func (m Mode) String() string {
 }
 
 // Response is the completion of one request as seen by the submitter.
+// Responses returned by Submit/Call own their Payload; inside a
+// Request.respond callback the payload aliases the worker's scratch
+// buffer and must be serialized or copied before the callback returns.
 type Response struct {
 	RequestID uint64
 	Type      int
@@ -65,13 +68,21 @@ type Response struct {
 }
 
 // Request is the unit flowing through the pipeline.
+//
+// respond is invoked exactly once, synchronously, from the goroutine
+// that settles the request (a worker, or the dispatcher on the drop
+// path). Response.Payload aliases the worker's scratch buffer and is
+// only valid for the duration of the call. A respond implementation
+// may take ownership of buf — the zero-copy egress path reuses the
+// ingress buffer for the outgoing frame — by nilling the field; the
+// settling goroutine releases buf afterwards only if it is still set.
 type Request struct {
 	id      uint64
 	typ     int
 	payload []byte
 	arrival time.Duration // since server start
 	respond func(Response)
-	buf     *spsc.Buffer // UDP mode: owning network buffer
+	buf     *spsc.Buffer // network mode: owning ingress buffer
 
 	// Lifecycle stamps (offsets since server start), filled as the
 	// request crosses each stage; the worker completes the record and
@@ -322,7 +333,13 @@ func (s *Server) Submit(payload []byte) (<-chan Response, error) {
 		id:      s.nextID.Add(1),
 		payload: payload,
 		arrival: s.now(),
-		respond: func(resp Response) { ch <- resp },
+		respond: func(resp Response) {
+			// The payload aliases the worker's scratch buffer and is
+			// only valid for the duration of the respond call; copy it
+			// before handing the response to the waiting goroutine.
+			resp.Payload = append([]byte(nil), resp.Payload...)
+			ch <- resp
+		},
 	}
 	if !s.ingress.TryPut(r) {
 		return nil, errors.New("psp: ingress ring full")
@@ -348,6 +365,25 @@ func (s *Server) inject(r *Request) bool {
 	r.id = s.nextID.Add(1)
 	r.arrival = s.now()
 	return s.ingress.TryPut(r)
+}
+
+// injectBatch places a burst of externally built requests on the
+// ingress ring, amortizing the arrival timestamp, the ID allocation
+// (one atomic add for the burst) and the ring synchronization (one
+// head reservation) across the batch. It returns how many requests
+// were accepted — always a prefix of batch; the caller owns the
+// rejected tail (and its buffers).
+func (s *Server) injectBatch(batch []*Request) int {
+	if s.stopped.Load() || len(batch) == 0 {
+		return 0
+	}
+	now := s.now()
+	base := s.nextID.Add(uint64(len(batch))) - uint64(len(batch))
+	for i, r := range batch {
+		r.id = base + uint64(i) + 1
+		r.arrival = now
+	}
+	return s.ingress.TryPutBatch(batch)
 }
 
 // dispatcherLoop is the single thread of control for classification,
@@ -632,12 +668,15 @@ func (s *Server) workerLoop(id int) {
 			n = len(scratch)
 		}
 		if r.respond != nil {
-			payload := append([]byte(nil), scratch[:n]...)
+			// Payload aliases the worker's scratch buffer: respond
+			// implementations either serialize it onto the wire before
+			// returning (the network paths) or copy it (Submit). This
+			// keeps the transmit path allocation-free.
 			r.respond(Response{
 				RequestID:  r.id,
 				Type:       r.typ,
 				Status:     status,
-				Payload:    payload,
+				Payload:    scratch[:n],
 				Sojourn:    s.now() - r.arrival,
 				QueueDelay: queueDelay,
 				Service:    service,

@@ -118,13 +118,13 @@ func (t *TCPServer) serveConn(conn net.Conn) {
 		reqID := hdr.RequestID
 		req := &Request{payload: payload}
 		req.respond = func(resp Response) {
-			msg := proto.AppendMessage(make([]byte, 4, 4+proto.HeaderSize+len(resp.Payload)+proto.TimingSize), proto.Header{
-				Kind:      proto.KindResponse,
+			// resp.Payload aliases the worker's scratch; the frame is
+			// fully serialized before this callback returns.
+			msg := proto.AppendResponse(make([]byte, 4, 4+proto.ResponseOverhead+len(resp.Payload)), proto.Header{
 				Status:    resp.Status,
 				TypeID:    uint16(resp.Type & 0xFFFF),
 				RequestID: reqID,
-			}, resp.Payload)
-			msg = proto.AppendTiming(msg, proto.Timing{Queue: resp.QueueDelay, Service: resp.Service})
+			}, resp.Payload, proto.Timing{Queue: resp.QueueDelay, Service: resp.Service})
 			binary.LittleEndian.PutUint32(msg[:4], uint32(len(msg)-4))
 			writeMu.Lock()
 			conn.Write(msg) //nolint:errcheck // client may have gone

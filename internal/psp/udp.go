@@ -3,145 +3,380 @@ package psp
 import (
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"syscall"
+	"time"
 
 	"repro/internal/proto"
 	"repro/internal/spsc"
 )
 
-// UDPServer wraps a Server with the paper's networking model: a net
-// worker goroutine dequeues datagrams from the socket into pooled
-// buffers and pushes requests to the dispatcher; application workers
-// transmit responses directly on the shared socket, reusing the
-// ingress buffer for the egress packet (§4.3.1's zero-copy path).
+// UDPServer wraps a Server with the paper's networking model, scaled
+// out: N ingress shards, each a net worker on its own UDP socket,
+// drain *bursts* of datagrams into pooled buffers and hand each burst
+// to the dispatcher in a single ring synchronization (§4.3.1's
+// amortized packet path). On egress, workers encode responses into
+// the request's own ingress buffer (the zero-copy path) and push the
+// frame onto the shard's TX ring; a per-shard TX goroutine drains the
+// ring in bursts and owns all socket writes, so workers never contend
+// on a shared WriteToUDP.
 type UDPServer struct {
 	Server *Server
-	conn   *net.UDPConn
-	pool   *spsc.Pool
-	wg     sync.WaitGroup
-	closed atomic.Bool
+	shards []*udpShard
 
-	rxDrops atomic.Uint64
-	rx      atomic.Uint64
+	rxWG   sync.WaitGroup
+	txWG   sync.WaitGroup
+	closed atomic.Bool
 }
 
-// ListenUDP binds addr (e.g. "127.0.0.1:9940") and starts the net
-// worker on top of an already-configured (but not yet started) Server.
+// UDPOptions tunes the sharded datapath. The zero value means one
+// shard, 32-datagram bursts, 4096 pooled buffers and a 1024-frame TX
+// ring per shard.
+type UDPOptions struct {
+	// Shards is the number of ingress sockets, each with its own net
+	// worker, buffer pool and TX goroutine. With a non-zero listen
+	// port, shard i binds port+i; with port 0 every shard gets its own
+	// ephemeral port. Clients pick a shard per request (see
+	// loadgen.RunUDP's multi-address support).
+	Shards int
+	// Burst caps how many datagrams one net-worker wakeup drains
+	// before the batch is handed to the dispatcher.
+	Burst int
+	// PoolSize is the number of pooled ingress buffers per shard.
+	PoolSize int
+	// TXRing is the per-shard egress ring capacity (frames).
+	TXRing int
+}
+
+func (o *UDPOptions) fill() {
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.Burst <= 0 {
+		o.Burst = 32
+	}
+	if o.PoolSize <= 0 {
+		o.PoolSize = 4096
+	}
+	if o.TXRing <= 0 {
+		o.TXRing = 1024
+	}
+}
+
+// udpBufPayload is the largest request datagram a pooled buffer
+// accepts; the buffer is sized with proto.ResponseOverhead headroom so
+// the same buffer holds the response frame for any payload up to the
+// default worker scratch size.
+const udpBufPayload = 2048
+
+// txFrame is one encoded response waiting on a shard's egress ring.
+type txFrame struct {
+	buf  *spsc.Buffer // encoded frame (reused ingress buffer)
+	addr *net.UDPAddr
+}
+
+// udpShard is one ingress/egress lane: socket, buffer pool, burst
+// scratch, TX ring, and counters.
+type udpShard struct {
+	srv  *Server
+	conn *net.UDPConn
+	raw  syscall.RawConn
+	pool *spsc.Pool
+	tx   *spsc.MPSC[txFrame]
+
+	// Burst scratch, owned by the shard's net worker.
+	bufs    []*spsc.Buffer
+	addrs   []*net.UDPAddr
+	scratch []byte // shed reads when the pool is exhausted
+
+	// Source-address cache (net-worker-owned): consecutive datagrams
+	// from one client reuse a single immutable *net.UDPAddr instead of
+	// allocating per datagram.
+	lastIP4  [4]byte
+	lastPort int
+	lastAddr *net.UDPAddr
+
+	rx      atomic.Uint64
+	rxDrops atomic.Uint64 // malformed datagrams + ingress-ring overflow
+	rxSheds atomic.Uint64 // datagrams shed because the pool was exhausted
+	txFull  atomic.Uint64 // responses transmitted inline because the TX ring was full
+}
+
+// ListenUDP binds addr (e.g. "127.0.0.1:9940") with a single shard and
+// default batching, and starts the datapath on top of an
+// already-configured (but not yet started) Server.
 func ListenUDP(addr string, srv *Server) (*UDPServer, error) {
+	return ListenUDPShards(addr, srv, UDPOptions{})
+}
+
+// ListenUDPShards binds opts.Shards sockets starting at addr and
+// starts the full sharded datapath. With a non-zero port in addr,
+// shard i listens on port+i; with port 0 each shard takes an ephemeral
+// port. Addrs reports the bound set.
+func ListenUDPShards(addr string, srv *Server, opts UDPOptions) (*UDPServer, error) {
+	opts.fill()
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("psp: resolve %q: %w", addr, err)
 	}
-	conn, err := net.ListenUDP("udp", udpAddr)
-	if err != nil {
-		return nil, fmt.Errorf("psp: listen %q: %w", addr, err)
-	}
-	u := &UDPServer{
-		Server: srv,
-		conn:   conn,
-		pool:   spsc.NewPool(4096, 2048),
+	u := &UDPServer{Server: srv}
+	for i := 0; i < opts.Shards; i++ {
+		shardAddr := *udpAddr
+		if udpAddr.Port != 0 {
+			shardAddr.Port = udpAddr.Port + i
+		}
+		conn, err := net.ListenUDP("udp", &shardAddr)
+		if err != nil {
+			for _, sh := range u.shards {
+				sh.conn.Close()
+			}
+			return nil, fmt.Errorf("psp: listen %q shard %d: %w", addr, i, err)
+		}
+		// Saturation bursts outrun the net worker briefly; ask for deep
+		// kernel buffers (clamped to net.core.{r,w}mem_max) so those
+		// bursts queue instead of dropping.
+		conn.SetReadBuffer(4 << 20)  //nolint:errcheck // best effort
+		conn.SetWriteBuffer(4 << 20) //nolint:errcheck // best effort
+		raw, err := conn.SyscallConn()
+		if err != nil {
+			conn.Close()
+			for _, sh := range u.shards {
+				sh.conn.Close()
+			}
+			return nil, fmt.Errorf("psp: raw conn shard %d: %w", i, err)
+		}
+		u.shards = append(u.shards, &udpShard{
+			srv:     srv,
+			conn:    conn,
+			raw:     raw,
+			pool:    spsc.NewPool(opts.PoolSize, udpBufPayload+proto.ResponseOverhead),
+			tx:      spsc.NewMPSC[txFrame](opts.TXRing),
+			bufs:    make([]*spsc.Buffer, opts.Burst),
+			addrs:   make([]*net.UDPAddr, opts.Burst),
+			scratch: make([]byte, udpBufPayload+proto.ResponseOverhead),
+		})
 	}
 	srv.Start()
-	u.wg.Add(1)
-	go u.netWorker()
+	for _, sh := range u.shards {
+		u.rxWG.Add(1)
+		go u.netWorker(sh)
+		u.txWG.Add(1)
+		go u.txLoop(sh)
+	}
 	return u, nil
 }
 
-// Addr reports the bound address.
-func (u *UDPServer) Addr() *net.UDPAddr { return u.conn.LocalAddr().(*net.UDPAddr) }
+// Addr reports the first shard's bound address.
+func (u *UDPServer) Addr() *net.UDPAddr { return u.shards[0].conn.LocalAddr().(*net.UDPAddr) }
 
-// RxDrops reports datagrams dropped at ingress (pool exhausted, ring
-// full, or malformed).
-func (u *UDPServer) RxDrops() uint64 { return u.rxDrops.Load() }
+// Addrs reports every shard's bound address, in shard order.
+func (u *UDPServer) Addrs() []*net.UDPAddr {
+	out := make([]*net.UDPAddr, len(u.shards))
+	for i, sh := range u.shards {
+		out[i] = sh.conn.LocalAddr().(*net.UDPAddr)
+	}
+	return out
+}
 
-// Received reports datagrams accepted into the pipeline.
-func (u *UDPServer) Received() uint64 { return u.rx.Load() }
+// Shards reports the number of ingress shards.
+func (u *UDPServer) Shards() int { return len(u.shards) }
 
-// Close stops the net worker, the server, and releases the socket.
+// RxDrops reports datagrams dropped at ingress because they were
+// malformed or the ingress ring was full. Pool-exhaustion sheds are
+// counted separately in RxSheds.
+func (u *UDPServer) RxDrops() uint64 {
+	var n uint64
+	for _, sh := range u.shards {
+		n += sh.rxDrops.Load()
+	}
+	return n
+}
+
+// RxSheds reports datagrams shed at ingress because the shard's
+// buffer pool was exhausted (sustained overload backpressure).
+func (u *UDPServer) RxSheds() uint64 {
+	var n uint64
+	for _, sh := range u.shards {
+		n += sh.rxSheds.Load()
+	}
+	return n
+}
+
+// TxRingFull reports responses that bypassed the TX ring (transmitted
+// inline by the completing worker) because the ring was full.
+func (u *UDPServer) TxRingFull() uint64 {
+	var n uint64
+	for _, sh := range u.shards {
+		n += sh.txFull.Load()
+	}
+	return n
+}
+
+// Received reports datagrams accepted into the pipeline across all
+// shards.
+func (u *UDPServer) Received() uint64 {
+	var n uint64
+	for _, sh := range u.shards {
+		n += sh.rx.Load()
+	}
+	return n
+}
+
+// ShardReceived reports datagrams accepted by one shard.
+func (u *UDPServer) ShardReceived(i int) uint64 { return u.shards[i].rx.Load() }
+
+// Close stops the net workers, the server, then the TX drains, and
+// releases the sockets.
 func (u *UDPServer) Close() error {
 	if u.closed.Swap(true) {
 		return nil
 	}
-	err := u.conn.Close() // unblocks the net worker
-	u.wg.Wait()
+	var err error
+	for _, sh := range u.shards {
+		if e := sh.conn.Close(); e != nil && err == nil {
+			err = e // unblocks that shard's net worker
+		}
+	}
+	u.rxWG.Wait()
+	// Stop drains the queues; drop responses flow through the TX rings
+	// (and fail harmlessly on the closed sockets).
 	u.Server.Stop()
+	// With the server stopped no producer remains; a sentinel frame
+	// terminates each TX loop after the backlog drains.
+	for _, sh := range u.shards {
+		for !sh.tx.TryPut(txFrame{}) {
+			runtime.Gosched()
+		}
+	}
+	u.txWG.Wait()
 	return err
 }
 
-// netWorker is the paper's layer-2 forwarder analogue: read, frame,
-// hand to the dispatcher.
-func (u *UDPServer) netWorker() {
-	defer u.wg.Done()
+// netWorker is the paper's net-worker analogue for one shard: drain a
+// burst of datagrams, frame them, hand the burst to the dispatcher in
+// one ring synchronization.
+func (u *UDPServer) netWorker(sh *udpShard) {
+	defer u.rxWG.Done()
+	batch := make([]*Request, 0, len(sh.bufs))
 	for {
-		buf := u.pool.Get()
-		if buf == nil {
-			// Pool exhausted: shed one datagram using a stack scratch.
-			var scratch [2048]byte
-			if _, _, err := u.conn.ReadFromUDP(scratch[:]); err != nil {
-				return
+		n, err := sh.readBurst()
+		batch = batch[:0]
+		for i := 0; i < n; i++ {
+			buf, from := sh.bufs[i], sh.addrs[i]
+			sh.bufs[i] = nil
+			hdr, payload, perr := proto.DecodeHeader(buf.Bytes())
+			if perr != nil || hdr.Kind != proto.KindRequest || from == nil {
+				buf.Release()
+				sh.rxDrops.Add(1)
+				continue
 			}
-			u.rxDrops.Add(1)
-			continue
+			// Requests stamp their retry attempt in the header status
+			// byte (see proto); attempt > 0 is a client retransmission.
+			if hdr.Status != 0 {
+				u.Server.noteRetry()
+			}
+			// Chaos layer: the datagram may vanish here, as if lost on
+			// the wire before the net worker ever saw it.
+			if u.Server.inj.IngressDrop() {
+				buf.Release()
+				continue
+			}
+			req := &Request{payload: payload, buf: buf}
+			req.respond = sh.responder(req, hdr.RequestID, from)
+			batch = append(batch, req)
+			// Chaos layer: duplicated delivery, as a retransmitting
+			// network would produce. The copy owns its payload and has
+			// no ingress buffer, so its response takes the allocating
+			// fallback and cannot race the original for the buffer.
+			if u.Server.inj.IngressDup() {
+				dup := &Request{payload: append([]byte(nil), payload...)}
+				dup.respond = sh.responder(dup, hdr.RequestID, from)
+				batch = append(batch, dup)
+			}
 		}
-		n, from, err := u.conn.ReadFromUDP(buf.Data)
+		accepted := u.Server.injectBatch(batch)
+		sh.rx.Add(uint64(accepted))
+		for _, r := range batch[accepted:] {
+			// Ingress ring full: shed the tail of the burst.
+			if r.buf != nil {
+				r.buf.Release()
+			}
+			sh.rxDrops.Add(1)
+		}
 		if err != nil {
-			buf.Release()
 			return // socket closed
 		}
-		buf.Len = n
-		hdr, payload, perr := proto.DecodeHeader(buf.Bytes())
-		if perr != nil || hdr.Kind != proto.KindRequest {
-			buf.Release()
-			u.rxDrops.Add(1)
-			continue
+		if n == 0 {
+			// A pure-shed round (pool exhausted): yield so workers can
+			// run and return buffers instead of starving them with
+			// back-to-back shed reads.
+			runtime.Gosched()
 		}
-		// Requests stamp their retry attempt in the header status byte
-		// (see proto); attempt > 0 is a client retransmission.
-		if hdr.Status != 0 {
-			u.Server.noteRetry()
+	}
+}
+
+// responder builds the respond callback for one request: encode the
+// response into the request's own ingress buffer (zero-copy) and push
+// it onto the shard's TX ring. Requests without a reusable buffer
+// (chaos duplicates, oversized responses) fall back to a one-off
+// allocation and an inline write.
+func (sh *udpShard) responder(req *Request, reqID uint64, addr *net.UDPAddr) func(Response) {
+	return func(resp Response) {
+		hdr := proto.Header{
+			Status:    resp.Status,
+			TypeID:    uint16(resp.Type & 0xFFFF),
+			RequestID: reqID,
 		}
-		// Chaos layer: the datagram may vanish here, as if lost on the
-		// wire before the net worker ever saw it.
-		if u.Server.inj.IngressDrop() {
-			buf.Release()
-			continue
-		}
-		req := &Request{payload: payload, buf: buf}
-		reqID := hdr.RequestID
-		addr := from
-		conn := u.conn
-		req.respond = func(resp Response) {
-			// Workers transmit directly; the 16-byte header, the
-			// response payload, and the lifecycle timing trailer go out
-			// in one datagram.
-			var out [2048 + proto.TimingSize]byte
-			msg := proto.AppendMessage(out[:0], proto.Header{
-				Kind:      proto.KindResponse,
-				Status:    resp.Status,
-				TypeID:    uint16(resp.Type & 0xFFFF),
-				RequestID: reqID,
-			}, resp.Payload)
-			msg = proto.AppendTiming(msg, proto.Timing{Queue: resp.QueueDelay, Service: resp.Service})
-			conn.WriteToUDP(msg, addr) //nolint:errcheck // fire-and-forget UDP
-		}
-		if !u.Server.inject(req) {
-			buf.Release()
-			u.rxDrops.Add(1)
-			continue
-		}
-		u.rx.Add(1)
-		// Chaos layer: duplicated delivery, as a retransmitting network
-		// would produce. The copy owns its payload — the original's
-		// pooled buffer is released when the first completion fires.
-		if u.Server.inj.IngressDup() {
-			dup := &Request{
-				payload: append([]byte(nil), payload...),
-				respond: req.respond,
+		tm := proto.Timing{Queue: resp.QueueDelay, Service: resp.Service}
+		if b := req.buf; b != nil && cap(b.Data) >= proto.ResponseOverhead+len(resp.Payload) {
+			// Take ownership of the ingress buffer: the settling
+			// goroutine skips its release, and the TX loop returns the
+			// buffer to the pool after the frame is on the wire.
+			req.buf = nil
+			msg := proto.AppendResponse(b.Data[:0], hdr, resp.Payload, tm)
+			b.Len = len(msg)
+			if sh.tx.TryPut(txFrame{buf: b, addr: addr}) {
+				return
 			}
-			if u.Server.inject(dup) {
-				u.rx.Add(1)
-			}
+			// TX ring full: transmit inline rather than block a worker.
+			sh.txFull.Add(1)
+			sh.conn.WriteToUDP(b.Bytes(), addr) //nolint:errcheck // fire-and-forget UDP
+			b.Release()
+			return
 		}
+		msg := proto.AppendResponse(make([]byte, 0, proto.ResponseOverhead+len(resp.Payload)), hdr, resp.Payload, tm)
+		sh.conn.WriteToUDP(msg, addr) //nolint:errcheck // fire-and-forget UDP
+	}
+}
+
+// txLoop owns the shard's socket writes: it drains encoded frames off
+// the TX ring — many per wakeup once responses queue up — and returns
+// each buffer to the pool. A nil-buffer sentinel (pushed by Close
+// after the server stops) terminates the loop once the backlog is
+// out.
+func (u *UDPServer) txLoop(sh *udpShard) {
+	defer u.txWG.Done()
+	spins := 0
+	for {
+		f, ok := sh.tx.TryGet()
+		if !ok {
+			spins++
+			switch {
+			case spins < 64:
+			case spins < 4096:
+				runtime.Gosched()
+			default:
+				time.Sleep(20 * time.Microsecond)
+			}
+			continue
+		}
+		spins = 0
+		if f.buf == nil {
+			return // shutdown sentinel
+		}
+		sh.conn.WriteToUDP(f.buf.Bytes(), f.addr) //nolint:errcheck // fire-and-forget UDP
+		f.buf.Release()
 	}
 }

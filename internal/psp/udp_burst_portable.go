@@ -1,0 +1,27 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package psp
+
+// readBurst on platforms without a usable raw recvfrom path degrades
+// to single-datagram reads through the portable net package: bursts
+// of one, with the same pool-exhaustion shed accounting as the unix
+// fast path.
+func (sh *udpShard) readBurst() (int, error) {
+	b := sh.pool.Get()
+	if b == nil {
+		if _, _, err := sh.conn.ReadFromUDP(sh.scratch); err != nil {
+			return 0, err
+		}
+		sh.rxSheds.Add(1)
+		return 0, nil
+	}
+	m, from, err := sh.conn.ReadFromUDP(b.Data)
+	if err != nil {
+		b.Release()
+		return 0, err
+	}
+	b.Len = m
+	sh.bufs[0] = b
+	sh.addrs[0] = from
+	return 1, nil
+}

@@ -1,0 +1,88 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package psp
+
+import (
+	"net"
+	"syscall"
+)
+
+// readBurst drains up to cap(sh.bufs) datagrams from the shard socket
+// in one netpoller round: the raw-conn read callback blocks (via the
+// runtime poller) until the socket is readable, then issues recvfrom
+// calls until the burst is full or the socket runs dry. The listener
+// is in non-blocking mode (the Go runtime arranges this), so an empty
+// socket answers EAGAIN instead of blocking the thread — one poller
+// arm/park cycle is amortized over the whole burst, instead of paid
+// per datagram as with ReadFromUDP.
+//
+// When the buffer pool is exhausted it shed-reads exactly one
+// datagram into scratch (counted in rxSheds) so backpressure drops
+// load without wedging the socket, and returns so the net worker can
+// yield to the workers holding the buffers.
+func (sh *udpShard) readBurst() (int, error) {
+	n := 0
+	var sysErr error
+	err := sh.raw.Read(func(fd uintptr) bool {
+		for n < len(sh.bufs) {
+			b := sh.pool.Get()
+			if b == nil {
+				if n > 0 {
+					return true // deliver what we have
+				}
+				_, _, e := syscall.Recvfrom(int(fd), sh.scratch, 0)
+				if e == syscall.EAGAIN || e == syscall.EWOULDBLOCK {
+					return false // park until readable
+				}
+				if e != nil {
+					sysErr = e
+					return true
+				}
+				sh.rxSheds.Add(1)
+				return true
+			}
+			m, sa, e := syscall.Recvfrom(int(fd), b.Data, 0)
+			if e == syscall.EAGAIN || e == syscall.EWOULDBLOCK {
+				b.Release()
+				if n > 0 {
+					return true // burst complete: socket ran dry
+				}
+				return false // park until readable
+			}
+			if e != nil {
+				b.Release()
+				sysErr = e
+				return true
+			}
+			b.Len = m
+			sh.bufs[n] = b
+			sh.addrs[n] = sh.udpAddrOf(sa)
+			n++
+		}
+		return true
+	})
+	if err != nil {
+		return n, err // socket closed
+	}
+	return n, sysErr
+}
+
+// udpAddrOf converts a recvfrom source address. The common case — a
+// stream of datagrams from one client — hits the shard's address
+// cache; the returned *net.UDPAddr is immutable (TX frames hold it
+// asynchronously), so a changed source allocates a fresh one instead
+// of mutating the cached value.
+func (sh *udpShard) udpAddrOf(sa syscall.Sockaddr) *net.UDPAddr {
+	switch sa := sa.(type) {
+	case *syscall.SockaddrInet4:
+		if sh.lastAddr != nil && sh.lastIP4 == sa.Addr && sh.lastPort == sa.Port {
+			return sh.lastAddr
+		}
+		a := &net.UDPAddr{IP: append(net.IP(nil), sa.Addr[:]...), Port: sa.Port}
+		sh.lastIP4, sh.lastPort, sh.lastAddr = sa.Addr, sa.Port, a
+		return a
+	case *syscall.SockaddrInet6:
+		return &net.UDPAddr{IP: append(net.IP(nil), sa.Addr[:]...), Port: sa.Port}
+	}
+	return nil
+}

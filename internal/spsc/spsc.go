@@ -189,6 +189,56 @@ func (q *MPSC[T]) TryPut(v T) bool {
 	}
 }
 
+// TryPutBatch appends a prefix of vs with a single head reservation
+// (one CAS for the whole burst instead of one per element) and
+// reports how many elements were accepted. Slots free up in
+// consumption order, so a free last slot implies the whole range is
+// free; the scan walks the candidate length down until that holds.
+// Safe for any producer; the net workers use it to hand a burst of
+// datagrams to the dispatcher in one ring synchronization.
+func (q *MPSC[T]) TryPutBatch(vs []T) int {
+	if len(vs) == 0 {
+		return 0
+	}
+	for {
+		head := q.head.Load()
+		n := len(vs)
+		if n > len(q.buf) {
+			n = len(q.buf)
+		}
+		// Shrink the claim until its last slot is writable.
+		for n > 0 {
+			s := &q.buf[(head+uint64(n)-1)&q.mask]
+			seq := s.seq.Load()
+			if seq == head+uint64(n)-1 {
+				break
+			}
+			if seq > head+uint64(n)-1 {
+				// Another producer already advanced past this head
+				// snapshot; retry with a fresh one.
+				n = -1
+				break
+			}
+			n--
+		}
+		if n < 0 {
+			continue // stale head snapshot
+		}
+		if n == 0 {
+			return 0 // full
+		}
+		if !q.head.CompareAndSwap(head, head+uint64(n)) {
+			continue // lost the race for these slots
+		}
+		for i := 0; i < n; i++ {
+			s := &q.buf[(head+uint64(i))&q.mask]
+			s.val = vs[i]
+			s.seq.Store(head + uint64(i) + 1)
+		}
+		return n
+	}
+}
+
 // TryGet removes the oldest element. Single consumer only.
 func (q *MPSC[T]) TryGet() (T, bool) {
 	var zero T

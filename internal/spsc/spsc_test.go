@@ -2,6 +2,7 @@ package spsc
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -284,5 +285,194 @@ func TestRingPropertyFIFO(t *testing.T) {
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestMPSCTryPutBatchFIFO(t *testing.T) {
+	q := NewMPSC[int](8)
+	if got := q.TryPutBatch(nil); got != 0 {
+		t.Fatalf("batch of nothing accepted %d", got)
+	}
+	if got := q.TryPutBatch([]int{0, 1, 2, 3, 4}); got != 5 {
+		t.Fatalf("batch accepted %d of 5", got)
+	}
+	if !q.TryPut(5) {
+		t.Fatal("single put after batch failed")
+	}
+	for i := 0; i < 6; i++ {
+		v, ok := q.TryGet()
+		if !ok || v != i {
+			t.Fatalf("get %d: %v %v", i, v, ok)
+		}
+	}
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("get on drained ring succeeded")
+	}
+}
+
+// TestMPSCTryPutBatchPartial: a batch larger than the free space must
+// accept exactly the prefix that fits, leaving the rest to the caller.
+func TestMPSCTryPutBatchPartial(t *testing.T) {
+	q := NewMPSC[int](8)
+	for i := 0; i < 6; i++ {
+		q.TryPut(i)
+	}
+	if got := q.TryPutBatch([]int{6, 7, 8, 9}); got != 2 {
+		t.Fatalf("partial batch accepted %d, want 2", got)
+	}
+	if got := q.TryPutBatch([]int{99}); got != 0 {
+		t.Fatalf("batch into full ring accepted %d", got)
+	}
+	for i := 0; i < 8; i++ {
+		v, ok := q.TryGet()
+		if !ok || v != i {
+			t.Fatalf("get %d: %v %v", i, v, ok)
+		}
+	}
+}
+
+// TestMPSCTryPutBatchOversized: a batch longer than the ring's whole
+// capacity is clamped rather than rejected or wrapped.
+func TestMPSCTryPutBatchOversized(t *testing.T) {
+	q := NewMPSC[int](4)
+	vs := make([]int, 64)
+	for i := range vs {
+		vs[i] = i
+	}
+	if got := q.TryPutBatch(vs); got != 4 {
+		t.Fatalf("oversized batch accepted %d, want cap 4", got)
+	}
+	for i := 0; i < 4; i++ {
+		if v, _ := q.TryGet(); v != i {
+			t.Fatalf("get %d mismatch: %v", i, v)
+		}
+	}
+}
+
+// TestMPSCTryPutBatchWrap drives many batch-put/drain cycles across
+// the index wrap point so stale-sequence handling is exercised.
+func TestMPSCTryPutBatchWrap(t *testing.T) {
+	q := NewMPSC[int](8)
+	next := 0
+	for round := 0; round < 100; round++ {
+		batch := make([]int, 1+round%7)
+		for i := range batch {
+			batch[i] = next + i
+		}
+		got := q.TryPutBatch(batch)
+		if got != len(batch) {
+			t.Fatalf("round %d: accepted %d of %d", round, got, len(batch))
+		}
+		for i := 0; i < got; i++ {
+			v, ok := q.TryGet()
+			if !ok || v != next {
+				t.Fatalf("round %d: get %v %v, want %d", round, v, ok, next)
+			}
+			next++
+		}
+	}
+}
+
+// TestMPSCTryPutBatchConcurrent mixes batch producers with a single
+// consumer; every value must arrive exactly once (batches may
+// interleave but stay internally ordered).
+func TestMPSCTryPutBatchConcurrent(t *testing.T) {
+	const producers = 4
+	perProducer := 20000
+	if testing.Short() {
+		perProducer = 2000
+	}
+	q := NewMPSC[int](64)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			sent := 0
+			for sent < perProducer {
+				end := sent + 13
+				if end > perProducer {
+					end = perProducer
+				}
+				batch := make([]int, 0, end-sent)
+				for i := sent; i < end; i++ {
+					batch = append(batch, p*perProducer+i)
+				}
+				for len(batch) > 0 {
+					n := q.TryPutBatch(batch)
+					if n == 0 {
+						runtime.Gosched()
+					}
+					batch = batch[n:]
+				}
+				sent = end
+			}
+		}(p)
+	}
+	seen := make([]bool, producers*perProducer)
+	got := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		lastPer := make([]int, producers)
+		for i := range lastPer {
+			lastPer[i] = -1
+		}
+		for got < producers*perProducer {
+			v, ok := q.TryGet()
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+			if seen[v] {
+				t.Errorf("duplicate %d", v)
+				return
+			}
+			seen[v] = true
+			// Within one producer, values must stay ordered: batches
+			// are reserved and published contiguously.
+			p, off := v/perProducer, v%perProducer
+			if off <= lastPer[p] {
+				t.Errorf("producer %d out of order: %d after %d", p, off, lastPer[p])
+				return
+			}
+			lastPer[p] = off
+			got++
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got != producers*perProducer {
+		t.Fatalf("received %d of %d", got, producers*perProducer)
+	}
+}
+
+// BenchmarkMPSCPutSingle / PutBatch measure the handoff the net worker
+// amortizes: 32 items pushed one CAS at a time vs one reservation.
+func BenchmarkMPSCPutSingle(b *testing.B) {
+	q := NewMPSC[int](64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 32; j++ {
+			q.TryPut(j)
+		}
+		for j := 0; j < 32; j++ {
+			q.TryGet()
+		}
+	}
+}
+
+func BenchmarkMPSCPutBatch(b *testing.B) {
+	q := NewMPSC[int](64)
+	batch := make([]int, 32)
+	for i := range batch {
+		batch[i] = i
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.TryPutBatch(batch)
+		for j := 0; j < 32; j++ {
+			q.TryGet()
+		}
 	}
 }

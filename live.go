@@ -1,6 +1,9 @@
 package persephone
 
 import (
+	"fmt"
+	"net"
+	"strings"
 	"time"
 
 	"repro/internal/classify"
@@ -62,7 +65,11 @@ const (
 	StatusError   = proto.StatusError
 )
 
-// LiveConfig assembles a live server.
+// LiveConfig assembles a live server. It is the one public
+// configuration path for the live runtime: NewLiveServerStopped
+// translates it into a ready-to-start pipeline, and every constructor
+// (NewLiveServer, Listen, and the deprecated ServeUDP/ServeTCP) goes
+// through that translation.
 type LiveConfig struct {
 	// Workers is the number of application worker goroutines.
 	Workers int
@@ -78,6 +85,16 @@ type LiveConfig struct {
 	// QueueCap bounds each typed queue (default 4096); overflowing
 	// requests are answered with StatusDropped.
 	QueueCap int
+	// NetShards is the number of UDP ingress shards — sockets, each
+	// with its own net worker, buffer pool and TX goroutine — when the
+	// server is exposed with Listen("udp", ...). With a non-zero
+	// listen port, shard i binds port+i. Default 1. Ignored by the
+	// in-process and TCP transports.
+	NetShards int
+	// RxBurst caps how many datagrams a UDP net worker drains per
+	// wakeup before handing the burst to the dispatcher in a single
+	// ring synchronization (default 32). Ignored off the UDP path.
+	RxBurst int
 	// Faults optionally enables the chaos layer with the given fault
 	// profile (see internal/faults); nil injects nothing.
 	Faults *FaultProfile
@@ -111,9 +128,13 @@ type LiveServer = psp.Server
 // LiveStats is a snapshot of live-server metrics.
 type LiveStats = psp.Stats
 
-// buildLiveServer translates a LiveConfig into a stopped psp.Server —
-// the shared core of NewLiveServer, ServeUDP and ServeTCP.
-func buildLiveServer(cfg LiveConfig) (*psp.Server, error) {
+// NewLiveServerStopped translates a LiveConfig into a configured but
+// not yet started pipeline — the single config path behind every live
+// constructor. Use it when a transport takes ownership of startup
+// (Listen starts the server itself) or when the caller wants to
+// install sinks before the first request flows; otherwise
+// NewLiveServer starts it for you.
+func NewLiveServerStopped(cfg LiveConfig) (*LiveServer, error) {
 	mode := psp.ModeDARC
 	if cfg.UseCFCFS {
 		mode = psp.ModeCFCFS
@@ -140,9 +161,10 @@ func buildLiveServer(cfg LiveConfig) (*psp.Server, error) {
 	})
 }
 
-// NewLiveServer builds and starts the live runtime.
+// NewLiveServer builds and starts the live runtime for in-process use
+// (Submit/Call). To expose it on the network, use Listen instead.
 func NewLiveServer(cfg LiveConfig) (*LiveServer, error) {
-	srv, err := buildLiveServer(cfg)
+	srv, err := NewLiveServerStopped(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -150,28 +172,155 @@ func NewLiveServer(cfg LiveConfig) (*LiveServer, error) {
 	return srv, nil
 }
 
-// ServeUDP exposes a configured (not yet started) live server over
-// UDP; use NewLiveServerStopped + ServeUDP for network deployments, or
-// the psp package directly for full control.
-func ServeUDP(addr string, cfg LiveConfig) (*psp.UDPServer, error) {
-	srv, err := buildLiveServer(cfg)
+// LiveListener is a live server bound to a network transport — the
+// unified result of Listen for both "udp" (the paper's sharded
+// datagram datapath) and "tcp" (the stateful-dispatcher deployment §6
+// sketches).
+type LiveListener struct {
+	udp *psp.UDPServer
+	tcp *psp.TCPServer
+}
+
+// Listen builds a live server from cfg and exposes it on network
+// ("udp" or "tcp") at addr. The UDP transport runs cfg.NetShards
+// ingress shards (port+i per shard when the port is non-zero) with
+// cfg.RxBurst-datagram batched reads and zero-copy per-shard TX
+// rings; the TCP transport frames requests with a 4-byte length
+// prefix. Close stops the transport and the server.
+func Listen(network, addr string, cfg LiveConfig) (*LiveListener, error) {
+	srv, err := NewLiveServerStopped(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return psp.ListenUDP(addr, srv)
+	switch network {
+	case "udp":
+		u, err := psp.ListenUDPShards(addr, srv, psp.UDPOptions{
+			Shards: cfg.NetShards,
+			Burst:  cfg.RxBurst,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &LiveListener{udp: u}, nil
+	case "tcp":
+		t, err := psp.ListenTCP(addr, srv)
+		if err != nil {
+			return nil, err
+		}
+		return &LiveListener{tcp: t}, nil
+	default:
+		return nil, fmt.Errorf("persephone: Listen network %q (want \"udp\" or \"tcp\")", network)
+	}
 }
 
-// ServeTCP exposes a live server over TCP with length-prefixed frames
-// (the stateful-dispatcher deployment §6 of the paper sketches).
+// Server exposes the underlying live pipeline (stats, tracing,
+// metrics endpoints).
+func (l *LiveListener) Server() *LiveServer {
+	if l.udp != nil {
+		return l.udp.Server
+	}
+	return l.tcp.Server
+}
+
+// Addr reports the primary bound address (the first UDP shard, or the
+// TCP listener).
+func (l *LiveListener) Addr() net.Addr {
+	if l.udp != nil {
+		return l.udp.Addr()
+	}
+	return l.tcp.Addr()
+}
+
+// Addrs reports every bound address — one per UDP ingress shard, or
+// the single TCP listener address.
+func (l *LiveListener) Addrs() []net.Addr {
+	if l.udp == nil {
+		return []net.Addr{l.tcp.Addr()}
+	}
+	shardAddrs := l.udp.Addrs()
+	out := make([]net.Addr, len(shardAddrs))
+	for i, a := range shardAddrs {
+		out[i] = a
+	}
+	return out
+}
+
+// AddrStrings reports Addrs formatted as a comma-separated list — the
+// form loadgen.RunUDP and psp-client accept for client-side shard
+// selection.
+func (l *LiveListener) AddrStrings() string {
+	addrs := l.Addrs()
+	parts := make([]string, len(addrs))
+	for i, a := range addrs {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Received reports requests accepted into the pipeline at ingress.
+func (l *LiveListener) Received() uint64 {
+	if l.udp != nil {
+		return l.udp.Received()
+	}
+	return l.tcp.Received()
+}
+
+// RxDrops reports malformed or ring-overflow ingress drops.
+func (l *LiveListener) RxDrops() uint64 {
+	if l.udp != nil {
+		return l.udp.RxDrops()
+	}
+	return l.tcp.RxDrops()
+}
+
+// RxSheds reports ingress datagrams shed under buffer-pool exhaustion
+// (always 0 on TCP, which backpressures instead).
+func (l *LiveListener) RxSheds() uint64 {
+	if l.udp != nil {
+		return l.udp.RxSheds()
+	}
+	return 0
+}
+
+// UDP exposes the UDP transport when the listener was built with
+// Listen("udp", ...); nil otherwise.
+func (l *LiveListener) UDP() *psp.UDPServer { return l.udp }
+
+// Close stops the transport and the server.
+func (l *LiveListener) Close() error {
+	if l.udp != nil {
+		return l.udp.Close()
+	}
+	return l.tcp.Close()
+}
+
+// ServeUDP exposes a live server over UDP.
+//
+// Deprecated: use Listen("udp", addr, cfg), which also honours
+// cfg.NetShards/cfg.RxBurst and returns the unified LiveListener.
+func ServeUDP(addr string, cfg LiveConfig) (*psp.UDPServer, error) {
+	srv, err := NewLiveServerStopped(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return psp.ListenUDPShards(addr, srv, psp.UDPOptions{
+		Shards: cfg.NetShards,
+		Burst:  cfg.RxBurst,
+	})
+}
+
+// ServeTCP exposes a live server over TCP with length-prefixed frames.
+//
+// Deprecated: use Listen("tcp", addr, cfg).
 func ServeTCP(addr string, cfg LiveConfig) (*psp.TCPServer, error) {
-	srv, err := buildLiveServer(cfg)
+	srv, err := NewLiveServerStopped(cfg)
 	if err != nil {
 		return nil, err
 	}
 	return psp.ListenTCP(addr, srv)
 }
 
-// DialTCP connects a synchronous client to a ServeTCP server.
+// DialTCP connects a synchronous client to a Listen("tcp", ...) server.
 func DialTCP(addr string) (*psp.TCPClient, error) { return psp.DialTCP(addr) }
 
 // LoadConfig drives the open-loop load generator against a live

@@ -125,28 +125,20 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 14
 	}
-	newPolicy, err := ParsePolicy(cfg.Policy, cfg.Workers, cfg.Mix, cfg.Seed)
+	spec, err := ParsePolicySpec(cfg.Policy)
 	if err != nil {
 		return nil, err
 	}
-	// DARC's c-FCFS startup must fit inside the 10% warm-up discard,
-	// or its tail numbers are polluted by the pre-reservation phase.
-	if n := strings.ToLower(strings.TrimSpace(cfg.Policy)); n == "" || n == "darc" {
+	newPolicy, err := spec.Constructor(cfg.Workers, cfg.Mix, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Name == "darc" {
 		rate := cfg.Rate
 		if rate <= 0 {
 			rate = cfg.LoadFraction * cfg.Mix.PeakLoad(cfg.Workers)
 		}
-		window := cfg.ProfileWindow
-		if window == 0 {
-			auto := uint64(rate * cfg.Duration.Seconds() * 0.1 * 0.5)
-			window = minU64(50000, maxU64(500, auto))
-		}
-		workers, numTypes := cfg.Workers, len(cfg.Mix.Types)
-		newPolicy = func() cluster.Policy {
-			dcfg := darc.DefaultConfig(workers)
-			dcfg.MinWindowSamples = window
-			return policy.NewDARC(dcfg, numTypes, 0)
-		}
+		newPolicy = darcAutoPolicy(cfg.Workers, len(cfg.Mix.Types), rate, cfg.Duration, cfg.ProfileWindow)
 	}
 	res, err := cluster.Run(cluster.Config{
 		Workers:        cfg.Workers,
@@ -213,27 +205,20 @@ func ReplayTrace(tr *Trace, cfg SimConfig) (*SimResult, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 42
 	}
-	newPolicy, err := ParsePolicy(cfg.Policy, cfg.Workers, cfg.Mix, cfg.Seed)
+	spec, err := ParsePolicySpec(cfg.Policy)
 	if err != nil {
 		return nil, err
 	}
-	if n := strings.ToLower(strings.TrimSpace(cfg.Policy)); n == "" || n == "darc" {
+	newPolicy, err := spec.Constructor(cfg.Workers, cfg.Mix, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Name == "darc" {
 		dur := cfg.Duration
 		if dur <= 0 {
 			dur = tr.Duration()
 		}
-		window := cfg.ProfileWindow
-		if window == 0 {
-			auto := uint64(tr.Rate() * dur.Seconds() * 0.1 * 0.5)
-			window = minU64(50000, maxU64(500, auto))
-		}
-		workers := cfg.Workers
-		numTypes := tr.NumTypes()
-		newPolicy = func() cluster.Policy {
-			dcfg := darc.DefaultConfig(workers)
-			dcfg.MinWindowSamples = window
-			return policy.NewDARC(dcfg, numTypes, 0)
-		}
+		newPolicy = darcAutoPolicy(cfg.Workers, tr.NumTypes(), tr.Rate(), dur, cfg.ProfileWindow)
 	}
 	res, err := cluster.Run(cluster.Config{
 		Workers:        cfg.Workers,
@@ -251,7 +236,7 @@ func ReplayTrace(tr *Trace, cfg SimConfig) (*SimResult, error) {
 	return buildSimResult(res, tr.NumTypes()), nil
 }
 
-// PolicyNames lists the scheduler names ParsePolicy accepts.
+// PolicyNames lists the scheduler names ParsePolicySpec accepts.
 func PolicyNames() []string {
 	return []string{
 		"darc", "darc-static:N", "darc-elastic", "cfcfs", "dfcfs",
@@ -260,8 +245,26 @@ func PolicyNames() []string {
 	}
 }
 
-// ParsePolicy resolves a policy name into a constructor bound to the
-// given machine shape. Recognized names (case-insensitive):
+// PolicySpec is the structured form of a scheduler selection — the
+// typed counterpart of the "name:arg" strings the CLIs accept. Build
+// one directly (Name plus the argument field its policy reads) or
+// parse the string grammar with ParsePolicySpec; Constructor binds
+// the spec to a machine shape.
+type PolicySpec struct {
+	// Name is the canonical policy name, one of: darc, darc-static,
+	// darc-elastic, cfcfs, dfcfs, shenango, shinjuku-sq, shinjuku-mq,
+	// ts-ideal, fp, sjf, edf, drr. Empty means darc.
+	Name string
+	// StaticReserved is darc-static's argument: cores statically
+	// reserved for the shortest type.
+	StaticReserved int
+	// PreemptOverhead is ts-ideal's argument: total preemption
+	// overhead charged per context switch.
+	PreemptOverhead time.Duration
+}
+
+// ParsePolicySpec parses a scheduler name with optional argument.
+// Recognized names (case-insensitive):
 //
 //	darc             the paper's policy with default tuning
 //	darc-static:N    N cores statically reserved for the shortest type
@@ -273,58 +276,121 @@ func PolicyNames() []string {
 //	ts-ideal:Nus     idealized preemption with N µs total overhead
 //	fp               non-preemptive fixed priority (shortest first)
 //	sjf              oracle shortest-job-first
-func ParsePolicy(name string, workers int, mix Mix, seed uint64) (func() cluster.Policy, error) {
+//
+// Argument validation that depends on the machine shape (darc-static's
+// N <= workers) happens in Constructor.
+func ParsePolicySpec(name string) (PolicySpec, error) {
+	n := strings.ToLower(strings.TrimSpace(name))
+	arg, hasArg := "", false
+	if i := strings.IndexByte(n, ':'); i >= 0 {
+		n, arg, hasArg = n[:i], n[i+1:], true
+	}
+	spec := PolicySpec{Name: n}
+	switch n {
+	case "":
+		spec.Name = "darc"
+	case "c-fcfs":
+		spec.Name = "cfcfs"
+	case "d-fcfs":
+		spec.Name = "dfcfs"
+	case "work-stealing":
+		spec.Name = "shenango"
+	case "ts-sq":
+		spec.Name = "shinjuku-sq"
+	case "ts-mq":
+		spec.Name = "shinjuku-mq"
+	case "darc-static":
+		reserved, err := strconv.Atoi(arg)
+		if err != nil || reserved < 0 {
+			return PolicySpec{}, fmt.Errorf("persephone: darc-static needs :N with N>=0, got %q", arg)
+		}
+		spec.StaticReserved = reserved
+		return spec, nil
+	case "ts-ideal":
+		if hasArg {
+			us, err := strconv.ParseFloat(strings.TrimSuffix(arg, "us"), 64)
+			if err != nil || us < 0 {
+				return PolicySpec{}, fmt.Errorf("persephone: ts-ideal needs :Nus, got %q", arg)
+			}
+			spec.PreemptOverhead = time.Duration(us * float64(time.Microsecond))
+		}
+		return spec, nil
+	case "darc", "cfcfs", "dfcfs", "shenango", "shinjuku-sq", "shinjuku-mq",
+		"fp", "fixed-priority", "sjf", "edf", "drr", "darc-elastic":
+		if n == "fixed-priority" {
+			spec.Name = "fp"
+		}
+	default:
+		return PolicySpec{}, fmt.Errorf("persephone: unknown policy %q (have %v)", name, PolicyNames())
+	}
+	if hasArg {
+		return PolicySpec{}, fmt.Errorf("persephone: policy %q takes no argument, got %q", spec.Name, arg)
+	}
+	return spec, nil
+}
+
+// String renders the spec in the canonical name:arg grammar
+// ParsePolicySpec accepts.
+func (s PolicySpec) String() string {
+	switch s.Name {
+	case "darc-static":
+		return fmt.Sprintf("darc-static:%d", s.StaticReserved)
+	case "ts-ideal":
+		if s.PreemptOverhead > 0 {
+			return fmt.Sprintf("ts-ideal:%gus", float64(s.PreemptOverhead)/float64(time.Microsecond))
+		}
+	}
+	if s.Name == "" {
+		return "darc"
+	}
+	return s.Name
+}
+
+// Constructor binds the spec to a machine shape, returning the policy
+// factory the simulator calls per run.
+func (s PolicySpec) Constructor(workers int, mix Mix, seed uint64) (func() cluster.Policy, error) {
 	means := make([]time.Duration, len(mix.Types))
 	for i, t := range mix.Types {
 		means[i] = t.Service.Mean()
 	}
-	n := strings.ToLower(strings.TrimSpace(name))
-	arg := ""
-	if i := strings.IndexByte(n, ':'); i >= 0 {
-		n, arg = n[:i], n[i+1:]
-	}
-	switch n {
+	switch s.Name {
 	case "", "darc":
 		return func() cluster.Policy {
 			return policy.NewDARC(darc.DefaultConfig(workers), len(mix.Types), 0)
 		}, nil
 	case "darc-static":
-		reserved, err := strconv.Atoi(arg)
-		if err != nil || reserved < 0 || reserved > workers {
-			return nil, fmt.Errorf("persephone: darc-static needs :N with 0<=N<=%d, got %q", workers, arg)
+		reserved := s.StaticReserved
+		if reserved < 0 || reserved > workers {
+			return nil, fmt.Errorf("persephone: darc-static needs 0<=N<=%d, got %d", workers, reserved)
 		}
 		return func() cluster.Policy {
 			return policy.NewDARCStatic(means, reserved, 0)
 		}, nil
-	case "cfcfs", "c-fcfs":
+	case "cfcfs":
 		return func() cluster.Policy { return policy.NewCFCFS(0) }, nil
-	case "dfcfs", "d-fcfs":
+	case "dfcfs":
 		return func() cluster.Policy { return policy.NewDFCFS(rng.New(seed+1), 0) }, nil
-	case "shenango", "work-stealing":
+	case "shenango":
 		return func() cluster.Policy {
 			return policy.NewWorkStealing(rng.New(seed+2), 0, 100*time.Nanosecond)
 		}, nil
-	case "shinjuku-sq", "ts-sq":
+	case "shinjuku-sq":
 		return func() cluster.Policy {
 			return policy.NewTSSingleQueue(policy.TSConfig{Quantum: 5 * time.Microsecond, PreemptCost: time.Microsecond})
 		}, nil
-	case "shinjuku-mq", "ts-mq":
+	case "shinjuku-mq":
 		return func() cluster.Policy {
 			return policy.NewTSMultiQueue(policy.TSConfig{Quantum: 5 * time.Microsecond, PreemptCost: time.Microsecond}, len(mix.Types))
 		}, nil
 	case "ts-ideal":
-		var total time.Duration
-		if arg != "" {
-			us, err := strconv.ParseFloat(strings.TrimSuffix(arg, "us"), 64)
-			if err != nil || us < 0 {
-				return nil, fmt.Errorf("persephone: ts-ideal needs :Nus, got %q", arg)
-			}
-			total = time.Duration(us * float64(time.Microsecond))
+		total := s.PreemptOverhead
+		if total < 0 {
+			return nil, fmt.Errorf("persephone: ts-ideal needs PreemptOverhead >= 0, got %v", total)
 		}
 		return func() cluster.Policy {
 			return policy.NewTSIdeal(total/2, total-total/2, 0)
 		}, nil
-	case "fp", "fixed-priority":
+	case "fp":
 		return func() cluster.Policy { return policy.NewFixedPriority(means, 0) }, nil
 	case "sjf":
 		return func() cluster.Policy { return policy.NewSJF(0) }, nil
@@ -339,8 +405,41 @@ func ParsePolicy(name string, workers int, mix Mix, seed uint64) (func() cluster
 			return policy.NewElasticDARC(darc.DefaultConfig(workers), len(mix.Types), 0)
 		}, nil
 	default:
-		return nil, fmt.Errorf("persephone: unknown policy %q (have %v)", name, PolicyNames())
+		return nil, fmt.Errorf("persephone: unknown policy %q (have %v)", s.Name, PolicyNames())
 	}
+}
+
+// darcAutoPolicy builds the DARC constructor used when the plain
+// "darc" policy is simulated: its c-FCFS profiling window is
+// auto-scaled to half the warm-up arrivals (clamped to [500, 50000])
+// so startup profiling finishes inside the 10% warm-up discard and
+// cannot pollute the reported tail. A non-zero override (the
+// ProfileWindow knob) wins over the auto-scale.
+func darcAutoPolicy(workers, numTypes int, rate float64, dur time.Duration, override uint64) func() cluster.Policy {
+	window := override
+	if window == 0 {
+		auto := uint64(rate * dur.Seconds() * 0.1 * 0.5)
+		window = minU64(50000, maxU64(500, auto))
+	}
+	return func() cluster.Policy {
+		dcfg := darc.DefaultConfig(workers)
+		dcfg.MinWindowSamples = window
+		return policy.NewDARC(dcfg, numTypes, 0)
+	}
+}
+
+// ParsePolicy resolves a policy name directly into a constructor
+// bound to the given machine shape; see ParsePolicySpec for the name
+// grammar.
+//
+// Deprecated: use ParsePolicySpec and PolicySpec.Constructor, which
+// separate the string grammar from the machine binding.
+func ParsePolicy(name string, workers int, mix Mix, seed uint64) (func() cluster.Policy, error) {
+	spec, err := ParsePolicySpec(name)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Constructor(workers, mix, seed)
 }
 
 // ExperimentOptions tunes RunExperiment; zero value uses defaults (1s

@@ -1,0 +1,165 @@
+package persephone_test
+
+// Table tests for the typed policy-selection API (PolicySpec) and the
+// string grammars around it: canonicalization, argument parsing,
+// machine-shape validation, and every documented error path.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	persephone "repro"
+)
+
+func TestParsePolicySpecTable(t *testing.T) {
+	cases := []struct {
+		in   string
+		want persephone.PolicySpec
+	}{
+		{"", persephone.PolicySpec{Name: "darc"}},
+		{"darc", persephone.PolicySpec{Name: "darc"}},
+		{"  DARC  ", persephone.PolicySpec{Name: "darc"}},
+		{"darc-elastic", persephone.PolicySpec{Name: "darc-elastic"}},
+		{"darc-static:3", persephone.PolicySpec{Name: "darc-static", StaticReserved: 3}},
+		{"darc-static:0", persephone.PolicySpec{Name: "darc-static"}},
+		{"cfcfs", persephone.PolicySpec{Name: "cfcfs"}},
+		{"c-fcfs", persephone.PolicySpec{Name: "cfcfs"}},
+		{"d-FCFS", persephone.PolicySpec{Name: "dfcfs"}},
+		{"work-stealing", persephone.PolicySpec{Name: "shenango"}},
+		{"ts-sq", persephone.PolicySpec{Name: "shinjuku-sq"}},
+		{"ts-mq", persephone.PolicySpec{Name: "shinjuku-mq"}},
+		{"ts-ideal", persephone.PolicySpec{Name: "ts-ideal"}},
+		{"ts-ideal:2us", persephone.PolicySpec{Name: "ts-ideal", PreemptOverhead: 2 * time.Microsecond}},
+		{"ts-ideal:0.5us", persephone.PolicySpec{Name: "ts-ideal", PreemptOverhead: 500 * time.Nanosecond}},
+		{"fixed-priority", persephone.PolicySpec{Name: "fp"}},
+		{"sjf", persephone.PolicySpec{Name: "sjf"}},
+		{"edf", persephone.PolicySpec{Name: "edf"}},
+		{"drr", persephone.PolicySpec{Name: "drr"}},
+	}
+	for _, tc := range cases {
+		got, err := persephone.ParsePolicySpec(tc.in)
+		if err != nil {
+			t.Errorf("%q: %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%q: got %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParsePolicySpecErrors(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantSub string // must appear in the error text
+	}{
+		{"nope", "unknown policy"},
+		{"darc:", "takes no argument"},
+		{"cfcfs:3", "takes no argument"},
+		{"sjf:fast", "takes no argument"},
+		{"darc-static", "needs :N"},
+		{"darc-static:", "needs :N"},
+		{"darc-static:x", "needs :N"},
+		{"darc-static:-1", "needs :N"},
+		{"ts-ideal:abcus", "needs :Nus"},
+		{"ts-ideal:-3us", "needs :Nus"},
+	}
+	for _, tc := range cases {
+		_, err := persephone.ParsePolicySpec(tc.in)
+		if err == nil {
+			t.Errorf("%q: accepted, want error containing %q", tc.in, tc.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%q: error %q lacks %q", tc.in, err, tc.wantSub)
+		}
+	}
+}
+
+// TestPolicySpecStringRoundTrip: String must emit the canonical
+// grammar, which reparses to the identical spec.
+func TestPolicySpecStringRoundTrip(t *testing.T) {
+	specs := []persephone.PolicySpec{
+		{Name: "darc"},
+		{Name: ""}, // zero value renders as darc
+		{Name: "darc-static", StaticReserved: 4},
+		{Name: "ts-ideal"},
+		{Name: "ts-ideal", PreemptOverhead: 1500 * time.Nanosecond},
+		{Name: "shenango"},
+	}
+	for _, s := range specs {
+		got, err := persephone.ParsePolicySpec(s.String())
+		if err != nil {
+			t.Errorf("%+v → %q: %v", s, s.String(), err)
+			continue
+		}
+		want := s
+		if want.Name == "" {
+			want.Name = "darc"
+		}
+		if got != want {
+			t.Errorf("round trip %+v → %q → %+v", s, s.String(), got)
+		}
+	}
+}
+
+func TestPolicySpecConstructorValidation(t *testing.T) {
+	mix := persephone.HighBimodal()
+	// Every advertised name must produce a working constructor.
+	for _, name := range persephone.PolicyNames() {
+		name = strings.NewReplacer(":N", ":1", ":Nus", ":1us").Replace(name)
+		spec, err := persephone.ParsePolicySpec(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		newPolicy, err := spec.Constructor(4, mix, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if newPolicy() == nil {
+			t.Fatalf("%s: nil policy", name)
+		}
+	}
+	// Machine-shape validation: reservations cannot exceed workers.
+	spec := persephone.PolicySpec{Name: "darc-static", StaticReserved: 9}
+	if _, err := spec.Constructor(4, mix, 1); err == nil {
+		t.Fatal("darc-static:9 on 4 workers accepted")
+	}
+	if _, err := (persephone.PolicySpec{Name: "bogus"}).Constructor(4, mix, 1); err == nil {
+		t.Fatal("hand-built bogus spec accepted")
+	}
+	if _, err := (persephone.PolicySpec{Name: "ts-ideal", PreemptOverhead: -time.Microsecond}).Constructor(4, mix, 1); err == nil {
+		t.Fatal("negative preemption overhead accepted")
+	}
+}
+
+// TestParsePolicyCompat: the deprecated one-shot helper must keep
+// working — same successes, same failures — since released CLIs and
+// examples still call it.
+func TestParsePolicyCompat(t *testing.T) {
+	mix := persephone.HighBimodal()
+	if _, err := persephone.ParsePolicy("darc-static:2", 4, mix, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := persephone.ParsePolicy("darc-static:9", 4, mix, 1); err == nil {
+		t.Fatal("out-of-range reservation accepted")
+	}
+	if _, err := persephone.ParsePolicy("nope", 4, mix, 1); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestMixByNameErrors(t *testing.T) {
+	for _, name := range []string{"", "   ", "bimodal", "high-bimodal,tpcc", "rocksdb2"} {
+		if _, err := persephone.MixByName(name); err == nil {
+			t.Errorf("%q: accepted, want error", name)
+		}
+	}
+	// Aliases and surrounding whitespace are fine.
+	for _, name := range []string{" high ", "TPC-C", "Extreme-Bimodal"} {
+		if _, err := persephone.MixByName(name); err != nil {
+			t.Errorf("%q: %v", name, err)
+		}
+	}
+}
