@@ -55,6 +55,7 @@ func main() {
 	retries := flag.Int("retries", 0, "max retransmissions per request (needs -timeout)")
 	backoff := flag.Duration("backoff", time.Millisecond, "base retry backoff, doubled per attempt with jitter")
 	backoffMax := flag.Duration("backoff-max", 0, "retry backoff cap (default 64x -backoff)")
+	frontendMode := flag.Bool("frontend", false, "target is a psp-frontend: decode correlation trailers and report hedged queries")
 	flag.Parse()
 
 	mix, err := persephone.MixByName(*workloadName)
@@ -76,6 +77,7 @@ func main() {
 		MaxRetries:      *retries,
 		RetryBackoff:    *backoff,
 		RetryBackoffMax: *backoffMax,
+		Frontend:        *frontendMode,
 		BuildPayload: func(typ int) []byte {
 			// 2-byte type + 4 bytes of per-request entropy, matching
 			// psp-server's applications.
@@ -91,6 +93,9 @@ func main() {
 	}
 	fmt.Printf("sent %d  received %d  dropped %d  timed out %d  retries %d  achieved %.0f rps\n",
 		res.Sent, res.Received, res.Dropped, res.TimedOut, res.Retries, res.AchievedRate())
+	if *frontendMode {
+		fmt.Printf("hedged queries %d (answered with >= 1 hedge issued)\n", res.Hedged)
+	}
 	if un := res.Unaccounted(); un != 0 {
 		fmt.Printf("WARNING: %d requests unaccounted for\n", un)
 	}

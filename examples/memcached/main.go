@@ -29,7 +29,7 @@ func main() {
 		cache.Set(fmt.Sprintf("key%04d", i), []byte(fmt.Sprintf("value-%04d", i)), 0)
 	}
 
-	srv, err := persephone.ServeTCP("127.0.0.1:0", persephone.LiveConfig{
+	ln, err := persephone.Listen("tcp", "127.0.0.1:0", persephone.LiveConfig{
 		Workers:          4,
 		Classifier:       persephone.CommandClassifier(memcache.CommandNames()...),
 		MinWindowSamples: 256,
@@ -44,10 +44,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer srv.Close()
-	fmt.Printf("memcached-style server on %s (TCP, DARC dispatcher)\n\n", srv.Addr())
+	defer ln.Close()
+	fmt.Printf("memcached-style server on %s (TCP, DARC dispatcher)\n\n", ln.Addr())
 
-	cli, err := persephone.DialTCP(srv.Addr().String())
+	cli, err := persephone.DialTCP(ln.Addr().String())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -100,7 +100,7 @@ func main() {
 	wg.Wait()
 	fmt.Printf("done in %v\n\n", time.Since(start).Round(time.Millisecond))
 
-	st := srv.Server.StatsSnapshot()
+	st := ln.Server().StatsSnapshot()
 	fmt.Printf("dispatcher: %d requests, %d reservation updates\n", st.Dispatched, st.Updates)
 	for _, row := range st.Summaries {
 		if row.Completed == 0 {

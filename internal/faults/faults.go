@@ -294,6 +294,12 @@ type Injector struct {
 
 	workers []workerStream
 
+	// crashHook, when set, is called with the worker index after each
+	// injected crash decision — the notification channel a supervising
+	// tier (e.g. the fan-out frontend's backend health scorer) uses to
+	// learn about crash events without polling counters.
+	crashHook atomic.Pointer[func(worker int)]
+
 	drops     atomic.Uint64
 	dups      atomic.Uint64
 	stalls    atomic.Uint64
@@ -406,8 +412,26 @@ func (i *Injector) WorkerCrash(w int) bool {
 	ws.mu.Unlock()
 	if hit {
 		i.crashes.Add(1)
+		if fn := i.crashHook.Load(); fn != nil {
+			(*fn)(w)
+		}
 	}
 	return hit
+}
+
+// SetCrashHook registers fn to be called (from the crashing worker's
+// goroutine) whenever a crash is injected, carrying the worker index.
+// A nil fn removes the hook. Keep fn fast and non-blocking — it runs
+// on the fault's critical path.
+func (i *Injector) SetCrashHook(fn func(worker int)) {
+	if i == nil {
+		return
+	}
+	if fn == nil {
+		i.crashHook.Store(nil)
+		return
+	}
+	i.crashHook.Store(&fn)
 }
 
 // RespawnDelay reports how long a crashed worker stays down.

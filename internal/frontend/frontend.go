@@ -1,0 +1,600 @@
+// Package frontend is the live fan-out tier of the paper's §1
+// motivating deployment: a UDP frontend that accepts client queries,
+// fans each out to k of n Perséphone backends as sub-requests
+// (internal/proto framing plus a correlation-ID trailer the backends
+// echo), and answers the client when the slowest shard responds — the
+// layer where per-backend scheduling tails compound at the query
+// level.
+//
+// Two tail-cutting mechanisms complement the backends' scheduling
+// (RepNet, PAPERS.md): hedged requests — a sub-request outstanding
+// longer than a retry elsewhere would take (the best other healthy
+// backend's moving p99, floored) is re-issued
+// once to a spare backend, first reply wins, the loser is suppressed
+// as a duplicate — and health ejection — a backend accumulating
+// consecutive timeouts (or reported crashed by internal/faults) stops
+// receiving sub-requests until a cooldown passes.
+//
+// Accounting is exact: every issued sub-request transmission is
+// counted exactly once as replied, duplicate, or timed out, so after
+// a drain issued == replied + duplicates + timedOut (the conservation
+// invariant the tests and the fuzzer assert).
+package frontend
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/proto"
+	"repro/internal/spsc"
+)
+
+// Config assembles a Frontend.
+type Config struct {
+	// Backends lists the backend UDP addresses (required, >= 1).
+	Backends []string
+	// FanOut is how many distinct backends each query contacts
+	// (default: min(2, len(Backends)); clamped to the healthy set at
+	// issue time).
+	FanOut int
+	// QueryTimeout bounds a query end-to-end; sub-requests still
+	// pending at the deadline are reaped as timed out and the client
+	// gets an error response (default 250ms).
+	QueryTimeout time.Duration
+	// Hedge enables hedged sub-requests.
+	Hedge bool
+	// HedgeAfterMin floors the hedge trigger delay; the effective
+	// delay for a sub-request on backend b is max(HedgeAfterMin,
+	// lowest p99 among the other healthy backends) (default 2ms).
+	HedgeAfterMin time.Duration
+	// HedgeWindow is the per-backend reply-latency window sizing the
+	// moving p99 (default 256 samples).
+	HedgeWindow int
+	// EjectAfter is the consecutive-timeout count that ejects a
+	// backend (default 3).
+	EjectAfter int
+	// EjectCooldown is how long an ejected backend receives no new
+	// sub-requests (default 1s); the first sub-request after the
+	// cooldown doubles as the recovery probe.
+	EjectCooldown time.Duration
+	// Tick is the reap/hedge scan period (default 1ms).
+	Tick time.Duration
+	// PoolSize bounds pooled ingress buffers and thereby in-flight
+	// queries; an exhausted pool sheds new queries with StatusDropped
+	// (default 1024).
+	PoolSize int
+}
+
+func (c *Config) fill() error {
+	if len(c.Backends) == 0 {
+		return errors.New("frontend: config needs at least one backend")
+	}
+	if c.FanOut <= 0 {
+		c.FanOut = 2
+	}
+	if c.FanOut > len(c.Backends) {
+		c.FanOut = len(c.Backends)
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 250 * time.Millisecond
+	}
+	if c.HedgeAfterMin <= 0 {
+		c.HedgeAfterMin = 2 * time.Millisecond
+	}
+	if c.HedgeWindow <= 0 {
+		c.HedgeWindow = 256
+	}
+	if c.EjectAfter <= 0 {
+		c.EjectAfter = 3
+	}
+	if c.EjectCooldown <= 0 {
+		c.EjectCooldown = time.Second
+	}
+	if c.Tick <= 0 {
+		c.Tick = time.Millisecond
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = 1024
+	}
+	return nil
+}
+
+// queryBufPayload is the largest client query a pooled buffer accepts.
+const queryBufPayload = 2048
+
+// backendConn is the frontend's lane to one backend: a dialed socket
+// (receives only that backend's replies), the pending table index,
+// and health state.
+type backendConn struct {
+	addr    *net.UDPAddr
+	conn    *net.UDPConn
+	sent    atomic.Uint64
+	replies atomic.Uint64
+}
+
+// Frontend is a running fan-out tier.
+type Frontend struct {
+	cfg  Config
+	conn *net.UDPConn // client-facing socket
+	pool *spsc.Pool
+
+	corr     *correlator
+	backends []*backendConn
+	health   []*health
+
+	rr atomic.Uint64 // round-robin cursor for primary backend choice
+
+	queries       atomic.Uint64
+	queriesOK     atomic.Uint64
+	queriesFailed atomic.Uint64
+	queriesShed   atomic.Uint64
+	hedgesIssued  atomic.Uint64
+	hedgeWins     atomic.Uint64
+	rxDrops       atomic.Uint64 // malformed client datagrams
+
+	histMu    sync.Mutex
+	queryHist metrics.Histogram // client-observed query latency (ns)
+
+	stopTick chan struct{}
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+}
+
+// Listen binds the client-facing UDP socket at addr, dials every
+// backend, and starts the fan-out tier.
+func Listen(addr string, cfg Config) (*Frontend, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("frontend: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("frontend: listen %q: %w", addr, err)
+	}
+	f := &Frontend{
+		cfg:      cfg,
+		conn:     conn,
+		pool:     spsc.NewPool(cfg.PoolSize, queryBufPayload+proto.ResponseOverhead+proto.CorrelationSize),
+		corr:     newCorrelator(len(cfg.Backends)),
+		stopTick: make(chan struct{}),
+	}
+	for i, b := range cfg.Backends {
+		ba, err := net.ResolveUDPAddr("udp", strings.TrimSpace(b))
+		if err != nil {
+			f.closeConns()
+			return nil, fmt.Errorf("frontend: backend %d %q: %w", i, b, err)
+		}
+		bc, err := net.DialUDP("udp", nil, ba)
+		if err != nil {
+			f.closeConns()
+			return nil, fmt.Errorf("frontend: dial backend %d %q: %w", i, b, err)
+		}
+		f.backends = append(f.backends, &backendConn{addr: ba, conn: bc})
+		f.health = append(f.health, newHealth(cfg.HedgeWindow))
+	}
+	f.wg.Add(1)
+	go f.intakeLoop()
+	for i := range f.backends {
+		f.wg.Add(1)
+		go f.receiverLoop(i)
+	}
+	f.wg.Add(1)
+	go f.tickLoop()
+	return f, nil
+}
+
+// Addr reports the client-facing bound address.
+func (f *Frontend) Addr() *net.UDPAddr { return f.conn.LocalAddr().(*net.UDPAddr) }
+
+// NoteBackendCrash ejects backend i immediately — the hook a
+// supervisor wires to internal/faults crash events (Injector
+// .SetCrashHook) so the health scorer learns about crashes faster
+// than the timeout path would.
+func (f *Frontend) NoteBackendCrash(i int) {
+	if i < 0 || i >= len(f.health) {
+		return
+	}
+	f.health[i].crash(time.Now(), f.cfg.EjectCooldown)
+}
+
+// intakeLoop accepts client queries and fans them out.
+func (f *Frontend) intakeLoop() {
+	defer f.wg.Done()
+	scratch := make([]byte, queryBufPayload+proto.ResponseOverhead+proto.CorrelationSize)
+	encode := make([]byte, 0, queryBufPayload+proto.HeaderSize+proto.CorrelationSize)
+	outPayload := make([]byte, 0, queryBufPayload)
+	for {
+		buf := f.pool.Get()
+		data := scratch
+		if buf != nil {
+			data = buf.Data
+		}
+		n, from, err := f.conn.ReadFromUDP(data)
+		if err != nil {
+			if buf != nil {
+				buf.Release()
+			}
+			return // socket closed
+		}
+		if buf != nil {
+			buf.Len = n
+		}
+		hdr, payload, perr := proto.DecodeHeader(data[:n])
+		if perr != nil || hdr.Kind != proto.KindRequest {
+			if buf != nil {
+				buf.Release()
+			}
+			f.rxDrops.Add(1)
+			continue
+		}
+		if buf == nil {
+			// Pool exhausted: shed the query explicitly instead of
+			// letting the client time out (open-loop backpressure).
+			f.queriesShed.Add(1)
+			f.sendShed(hdr, from)
+			continue
+		}
+		now := time.Now()
+		targets := f.pickBackends(f.cfg.FanOut, now)
+		if len(targets) == 0 {
+			buf.Release()
+			f.queriesShed.Add(1)
+			f.sendShed(hdr, from)
+			continue
+		}
+		f.queries.Add(1)
+		q := f.corr.newQuery(hdr.RequestID, hdr.TypeID, from, payload, len(targets), now, now.Add(f.cfg.QueryTimeout))
+		q.buf = buf
+		// Encode from intake's own copy: issue() makes the query
+		// visible to the reaper, which may finish it and reuse the
+		// pooled buffer for the response while we are still sending.
+		outPayload = append(outPayload[:0], payload...)
+		for slot, b := range targets {
+			id := f.corr.issue(q, slot, b, 0, now)
+			encode = f.encodeSub(encode[:0], id, hdr.TypeID, outPayload, proto.Correlation{
+				QueryID: q.id, Shard: uint8(slot), Attempt: 0,
+			})
+			f.backends[b].sent.Add(1)
+			f.backends[b].conn.Write(encode) //nolint:errcheck // fire-and-forget UDP
+		}
+	}
+}
+
+// encodeSub frames one sub-request: header + payload + correlation.
+func (f *Frontend) encodeSub(dst []byte, id uint64, typeID uint16, payload []byte, corr proto.Correlation) []byte {
+	dst = proto.AppendMessage(dst, proto.Header{
+		Kind:      proto.KindRequest,
+		TypeID:    typeID,
+		RequestID: id,
+	}, payload)
+	return proto.AppendCorrelation(dst, corr)
+}
+
+// pickBackends chooses up to k distinct healthy backends round-robin.
+func (f *Frontend) pickBackends(k int, now time.Time) []int {
+	n := len(f.backends)
+	start := int(f.rr.Add(1)) % n
+	out := make([]int, 0, k)
+	for i := 0; i < n && len(out) < k; i++ {
+		b := (start + i) % n
+		if f.health[b].healthy(now) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// sendShed answers a rejected query immediately with a drop status.
+func (f *Frontend) sendShed(hdr proto.Header, from *net.UDPAddr) {
+	msg := proto.AppendMessage(make([]byte, 0, proto.HeaderSize), proto.Header{
+		Kind:      proto.KindResponse,
+		Status:    proto.StatusDropped,
+		TypeID:    hdr.TypeID,
+		RequestID: hdr.RequestID,
+	}, nil)
+	f.conn.WriteToUDP(msg, from) //nolint:errcheck // fire-and-forget UDP
+}
+
+// receiverLoop drains one backend's replies and resolves them against
+// its pending table.
+func (f *Frontend) receiverLoop(b int) {
+	defer f.wg.Done()
+	bc := f.backends[b]
+	buf := make([]byte, queryBufPayload+proto.ResponseOverhead+proto.CorrelationSize)
+	for {
+		n, err := bc.conn.Read(buf)
+		if err != nil {
+			return // socket closed
+		}
+		hdr, payload, perr := proto.DecodeHeader(buf[:n])
+		if perr != nil || hdr.Kind != proto.KindResponse {
+			continue
+		}
+		now := time.Now()
+		ev := f.corr.reply(b, hdr.RequestID, now)
+		switch ev.kind {
+		case replyStray, replyDuplicate:
+			continue
+		case replySettled:
+			bc.replies.Add(1)
+			f.health[b].observe(ev.latency)
+			if ev.sub.attempt > 0 {
+				f.hedgeWins.Add(1)
+			}
+			if ev.queryDone {
+				// This reply carried the slowest shard: answer the
+				// client with its payload.
+				f.finishQuery(ev.sub.q, hdr.Status, payload, now)
+			}
+		}
+	}
+}
+
+// finishQuery sends the client response for a completed query and
+// releases its ingress buffer. The correlator guarantees each query
+// finishes exactly once, so this runs once per query.
+func (f *Frontend) finishQuery(q *query, status proto.Status, payload []byte, now time.Time) {
+	q.mu.Lock()
+	hedges := q.hedges
+	failed := q.failed
+	q.mu.Unlock()
+	if failed {
+		status = proto.StatusError
+		f.queriesFailed.Add(1)
+	} else {
+		f.queriesOK.Add(1)
+	}
+	lat := now.Sub(q.start)
+	f.histMu.Lock()
+	f.queryHist.RecordDuration(lat)
+	f.histMu.Unlock()
+
+	corr := proto.Correlation{QueryID: q.id, Shard: uint8(len(q.slots)), Attempt: uint8(min(hedges, 255))}
+	need := proto.HeaderSize + len(payload) + proto.CorrelationSize
+	hdr := proto.Header{
+		Kind:      proto.KindResponse,
+		Status:    status,
+		TypeID:    q.typeID,
+		RequestID: q.reqID,
+	}
+	if b := q.buf; b != nil && cap(b.Data) >= need {
+		// Zero-copy egress: the query's own ingress buffer carries the
+		// response frame, then returns to the pool.
+		q.buf = nil
+		msg := proto.AppendMessage(b.Data[:0], hdr, payload)
+		msg = proto.AppendCorrelation(msg, corr)
+		b.Len = len(msg)
+		if !f.closed.Load() {
+			f.conn.WriteToUDP(b.Bytes(), q.from) //nolint:errcheck // fire-and-forget UDP
+		}
+		b.Release()
+		return
+	}
+	msg := proto.AppendMessage(make([]byte, 0, need), hdr, payload)
+	msg = proto.AppendCorrelation(msg, corr)
+	if !f.closed.Load() {
+		f.conn.WriteToUDP(msg, q.from) //nolint:errcheck // fire-and-forget UDP
+	}
+	if q.buf != nil {
+		q.buf.Release()
+		q.buf = nil
+	}
+}
+
+// tickLoop periodically reaps expired sub-requests (feeding the
+// health scorer) and issues hedges for slow ones.
+func (f *Frontend) tickLoop() {
+	defer f.wg.Done()
+	ticker := time.NewTicker(f.cfg.Tick)
+	defer ticker.Stop()
+	encode := make([]byte, 0, queryBufPayload+proto.HeaderSize+proto.CorrelationSize)
+	for {
+		select {
+		case <-f.stopTick:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		expired, finished := f.corr.reap(now)
+		for _, sb := range expired {
+			f.health[sb.backend].timeout(now, f.cfg.EjectAfter, f.cfg.EjectCooldown)
+		}
+		for _, q := range finished {
+			f.finishQuery(q, proto.StatusError, nil, now)
+		}
+		if f.cfg.Hedge {
+			delayFor := func(b int) time.Duration { return f.hedgeDelay(b, now) }
+			for _, order := range f.corr.hedgeScan(now, delayFor) {
+				spare := f.pickSpare(order, now)
+				if spare < 0 {
+					f.corr.cancelHedge(order.q, order.slot)
+					continue
+				}
+				id := f.corr.issue(order.q, order.slot, spare, 1, now)
+				encode = f.encodeSub(encode[:0], id, order.q.typeID, order.payload, proto.Correlation{
+					QueryID: order.q.id, Shard: uint8(order.slot), Attempt: 1,
+				})
+				f.hedgesIssued.Add(1)
+				f.backends[spare].sent.Add(1)
+				f.backends[spare].conn.Write(encode) //nolint:errcheck // fire-and-forget UDP
+			}
+		}
+	}
+}
+
+// hedgeDelay reports how long a sub-request may stay outstanding on
+// backend b before it is hedged: the lowest moving p99 among the
+// *other* healthy backends, floored at HedgeAfterMin. The trigger is
+// what a retry elsewhere would cost, not how slow b itself has been —
+// keying off b's own window self-defeats, because a degraded backend
+// inflates its own p99 and postpones exactly the hedges meant to
+// route around it. With no other healthy backend (or none warmed up
+// yet) the scan falls back to b's own p99.
+func (f *Frontend) hedgeDelay(b int, now time.Time) time.Duration {
+	var d time.Duration
+	for i := range f.backends {
+		if i == b || !f.health[i].healthy(now) {
+			continue
+		}
+		if p := f.health[i].p99(); p > 0 && (d == 0 || p < d) {
+			d = p
+		}
+	}
+	if d == 0 {
+		d = f.health[b].p99()
+	}
+	if d < f.cfg.HedgeAfterMin {
+		d = f.cfg.HedgeAfterMin
+	}
+	return d
+}
+
+// pickSpare chooses the hedge target: a healthy backend outside the
+// query's assigned set if one exists, else any healthy backend other
+// than the slow primary.
+func (f *Frontend) pickSpare(order hedgeOrder, now time.Time) int {
+	n := len(f.backends)
+	start := int(f.rr.Add(1)) % n
+	fallback := -1
+	for i := 0; i < n; i++ {
+		b := (start + i) % n
+		if b == order.primary || !f.health[b].healthy(now) {
+			continue
+		}
+		assigned := false
+		for _, a := range order.assigned {
+			if a == b {
+				assigned = true
+				break
+			}
+		}
+		if !assigned {
+			return b
+		}
+		if fallback < 0 {
+			fallback = b
+		}
+	}
+	return fallback
+}
+
+// Close stops the loops, drains every pending sub-request as timed
+// out (finishing their queries), and releases the sockets. After
+// Close the conservation invariant holds exactly:
+// issued == replied + duplicates + timedOut.
+func (f *Frontend) Close() error {
+	if f.closed.Swap(true) {
+		return nil
+	}
+	err := f.conn.Close()
+	for _, bc := range f.backends {
+		bc.conn.Close() //nolint:errcheck
+	}
+	close(f.stopTick)
+	f.wg.Wait()
+	// Final reap: everything still pending is timed out; their
+	// queries finish (failed) and release their buffers.
+	_, finished := f.corr.reap(f.farFuture())
+	for _, q := range finished {
+		f.finishQuery(q, proto.StatusError, nil, time.Now())
+	}
+	return err
+}
+
+// farFuture is a reap horizon beyond every query deadline.
+func (f *Frontend) farFuture() time.Time {
+	return time.Now().Add(f.cfg.QueryTimeout + time.Hour)
+}
+
+func (f *Frontend) closeConns() {
+	f.conn.Close() //nolint:errcheck
+	for _, bc := range f.backends {
+		bc.conn.Close() //nolint:errcheck
+	}
+}
+
+// Stats is a point-in-time snapshot of frontend counters.
+type Stats struct {
+	// Queries counts accepted client queries; QueriesOK finished with
+	// every shard answered, QueriesFailed with at least one shard
+	// unanswered at the deadline, QueriesShed were rejected at intake
+	// (no healthy backend, or pooled buffers exhausted).
+	Queries, QueriesOK, QueriesFailed, QueriesShed uint64
+	// Sub-request accounting; at any quiescent point
+	// SubIssued == SubReplied + SubDuplicate + SubTimedOut + Pending.
+	SubIssued, SubReplied, SubDuplicate, SubTimedOut uint64
+	// Strays are replies matching no pending entry.
+	Strays uint64
+	// Hedges counts hedge transmissions issued; HedgeWins those whose
+	// reply settled the slot first.
+	Hedges, HedgeWins uint64
+	// Ejections counts backend health ejections (timeout streaks and
+	// crash events).
+	Ejections uint64
+	// RxDrops counts malformed client datagrams.
+	RxDrops uint64
+	// Pending is the number of outstanding sub-requests.
+	Pending int
+	// QueryP50/P99/P999 are client-observed query latency quantiles.
+	QueryP50, QueryP99, QueryP999 time.Duration
+	// QueryCount is the number of latency samples behind the quantiles.
+	QueryCount uint64
+}
+
+// SubUnaccounted reports issued sub-requests with no recorded outcome
+// and no pending entry; a correct frontend always reports 0.
+func (s Stats) SubUnaccounted() int64 {
+	return int64(s.SubIssued) - int64(s.SubReplied) - int64(s.SubDuplicate) - int64(s.SubTimedOut) - int64(s.Pending)
+}
+
+// Stats snapshots the counters.
+func (f *Frontend) Stats() Stats {
+	var ej uint64
+	for _, h := range f.health {
+		ej += h.ejectionCount()
+	}
+	f.histMu.Lock()
+	p50 := f.queryHist.QuantileDuration(0.50)
+	p99 := f.queryHist.QuantileDuration(0.99)
+	p999 := f.queryHist.QuantileDuration(0.999)
+	count := f.queryHist.Count()
+	f.histMu.Unlock()
+	return Stats{
+		Queries:       f.queries.Load(),
+		QueriesOK:     f.queriesOK.Load(),
+		QueriesFailed: f.queriesFailed.Load(),
+		QueriesShed:   f.queriesShed.Load(),
+		SubIssued:     f.corr.issued.Load(),
+		SubReplied:    f.corr.replied.Load(),
+		SubDuplicate:  f.corr.duplicate.Load(),
+		SubTimedOut:   f.corr.timedOut.Load(),
+		Strays:        f.corr.strays.Load(),
+		Hedges:        f.hedgesIssued.Load(),
+		HedgeWins:     f.hedgeWins.Load(),
+		Ejections:     ej,
+		RxDrops:       f.rxDrops.Load(),
+		Pending:       f.corr.pendingCount(),
+		QueryP50:      p50,
+		QueryP99:      p99,
+		QueryP999:     p999,
+		QueryCount:    count,
+	}
+}
+
+// BackendHealthy reports whether backend i currently receives
+// sub-requests.
+func (f *Frontend) BackendHealthy(i int) bool {
+	if i < 0 || i >= len(f.health) {
+		return false
+	}
+	return f.health[i].healthy(time.Now())
+}

@@ -1,0 +1,116 @@
+package frontend
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// health scores one backend. Reply latencies feed a sliding window
+// whose p99 sets the hedge trigger delay (RepNet-style: hedge once a
+// sub-request outlives what this backend normally takes); consecutive
+// timeouts and crash events drive ejection, after which the backend
+// receives no new sub-requests until a cooldown passes.
+type health struct {
+	mu sync.Mutex
+
+	window []time.Duration // ring of recent reply latencies
+	idx    int
+	n      int
+
+	consecTimeouts int
+	ejectedUntil   time.Time
+	ejections      uint64
+
+	// cached p99, recomputed lazily when the window changes.
+	p99Cache time.Duration
+	dirty    bool
+}
+
+func newHealth(window int) *health {
+	if window < 8 {
+		window = 8
+	}
+	return &health{window: make([]time.Duration, window)}
+}
+
+// observe records a successful reply latency and clears the timeout
+// streak.
+func (h *health) observe(lat time.Duration) {
+	h.mu.Lock()
+	h.window[h.idx] = lat
+	h.idx = (h.idx + 1) % len(h.window)
+	if h.n < len(h.window) {
+		h.n++
+	}
+	h.consecTimeouts = 0
+	h.dirty = true
+	h.mu.Unlock()
+}
+
+// timeout records an expired sub-request; ejectAfter consecutive
+// timeouts eject the backend until now+cooldown. Reports whether this
+// call ejected the backend.
+func (h *health) timeout(now time.Time, ejectAfter int, cooldown time.Duration) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.consecTimeouts++
+	if h.consecTimeouts >= ejectAfter && now.After(h.ejectedUntil) {
+		h.ejectedUntil = now.Add(cooldown)
+		h.ejections++
+		h.consecTimeouts = 0
+		return true
+	}
+	return false
+}
+
+// crash ejects the backend immediately (an internal/faults crash
+// event observed by a supervisor). Reports whether this call newly
+// ejected it.
+func (h *health) crash(now time.Time, cooldown time.Duration) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if now.After(h.ejectedUntil) {
+		h.ejectedUntil = now.Add(cooldown)
+		h.ejections++
+		return true
+	}
+	// Already ejected: extend the cooldown.
+	h.ejectedUntil = now.Add(cooldown)
+	return false
+}
+
+// healthy reports whether the backend may receive new sub-requests.
+// An ejected backend becomes eligible again once its cooldown passes
+// (the next sub-request doubles as the recovery probe).
+func (h *health) healthy(now time.Time) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return now.After(h.ejectedUntil)
+}
+
+// ejectionCount reports how many times the backend has been ejected.
+func (h *health) ejectionCount() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ejections
+}
+
+// p99 reports the window's 99th-percentile reply latency, or 0 while
+// fewer than 16 samples exist (callers fall back to the configured
+// hedge floor).
+func (h *health) p99() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n < 16 {
+		return 0
+	}
+	if h.dirty {
+		tmp := make([]time.Duration, h.n)
+		copy(tmp, h.window[:h.n])
+		sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+		h.p99Cache = tmp[(len(tmp)*99)/100]
+		h.dirty = false
+	}
+	return h.p99Cache
+}

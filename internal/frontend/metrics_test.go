@@ -1,0 +1,103 @@
+package frontend
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// plantedFrontend builds a socketless Frontend with hand-planted
+// counters, so the exposition format is pinned deterministically.
+func plantedFrontend() *Frontend {
+	f := &Frontend{
+		corr:     newCorrelator(2),
+		backends: []*backendConn{{}, {}},
+		health:   []*health{newHealth(8), newHealth(8)},
+	}
+	f.queries.Store(100)
+	f.queriesOK.Store(95)
+	f.queriesFailed.Store(3)
+	f.queriesShed.Store(2)
+	f.corr.issued.Store(210)
+	f.corr.replied.Store(195)
+	f.corr.duplicate.Store(9)
+	f.corr.timedOut.Store(6)
+	f.corr.strays.Store(1)
+	f.hedgesIssued.Store(12)
+	f.hedgeWins.Store(7)
+	f.rxDrops.Store(4)
+	f.backends[0].sent.Store(110)
+	f.backends[0].replies.Store(104)
+	f.backends[1].sent.Store(100)
+	f.backends[1].replies.Store(91)
+	f.health[1].mu.Lock()
+	f.health[1].ejections = 1
+	f.health[1].mu.Unlock()
+	// Deterministic latency samples: 1ms x9, 10ms x1 — the histogram's
+	// bucketing is pinned along with the text format.
+	for i := 0; i < 9; i++ {
+		f.queryHist.RecordDuration(time.Millisecond)
+	}
+	f.queryHist.RecordDuration(10 * time.Millisecond)
+	return f
+}
+
+func TestWriteMetricsGolden(t *testing.T) {
+	f := plantedFrontend()
+	var buf bytes.Buffer
+	if err := f.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics_golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("metrics drifted from golden (run with -update if intended)\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestServeMetricsHTTP(t *testing.T) {
+	f := plantedFrontend()
+	addr, shutdown, err := f.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown() //nolint:errcheck
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(body, []byte("persephone_frontend_queries_total 100")) {
+		t.Fatalf("metrics body missing planted counter:\n%s", body)
+	}
+	hz, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", hz.StatusCode)
+	}
+}

@@ -1,0 +1,313 @@
+package frontend
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/spsc"
+)
+
+// The correlation table is the frontend's bookkeeping core: one
+// pending table per backend mapping sub-request IDs to their query
+// slot, plus per-query slot state. It is pure state-machine logic —
+// no sockets, no timers — so its invariants (every issued sub-request
+// is accounted exactly once as replied, duplicate or timed out; every
+// query finishes exactly once) are fuzzable in isolation.
+
+// slotState tracks one of a query's k shards.
+type slotState struct {
+	// settled flips when the first reply for the slot arrives
+	// (first-reply-wins); later replies are suppressed as duplicates.
+	settled bool
+	// hedged marks that a hedge has been issued (or is being issued)
+	// for the slot, so a slot is hedged at most once.
+	hedged bool
+	// outstanding counts transmissions (primary + hedge) still in a
+	// pending table.
+	outstanding int
+	// primary is the backend serving the original sub-request.
+	primary int
+}
+
+// query is one client fan-out request in flight.
+type query struct {
+	id     uint64
+	reqID  uint64 // client's RequestID, echoed on the response
+	typeID uint16
+	from   *net.UDPAddr
+
+	start    time.Time
+	deadline time.Time
+
+	// payload aliases buf's data; hedgeScan copies it under mu before
+	// use so the buffer may be reused for the response afterwards.
+	payload []byte
+	// buf is the pooled ingress buffer backing payload; it is reused
+	// for the egress response frame and released when the query
+	// finishes (the zero-copy path).
+	buf *spsc.Buffer
+
+	mu        sync.Mutex
+	slots     []slotState
+	unsettled int
+	hedges    int
+	finished  bool
+	failed    bool // at least one slot expired unanswered
+}
+
+// sub is one pending sub-request transmission.
+type sub struct {
+	q       *query
+	slot    int
+	backend int
+	attempt uint8 // 0 primary, 1 hedge
+	sentAt  time.Time
+}
+
+// backendTable is one backend's pending-reply table.
+type backendTable struct {
+	mu      sync.Mutex
+	pending map[uint64]*sub
+}
+
+// correlator owns the per-backend pending tables and the sub-request
+// accounting. Counters satisfy, at any quiescent point,
+//
+//	issued == replied + duplicate + timedOut + len(all pending)
+//
+// so after a full drain issued == replied + duplicate + timedOut —
+// the sub-request conservation invariant.
+type correlator struct {
+	tables    []*backendTable
+	nextSub   atomic.Uint64
+	nextQuery atomic.Uint64
+
+	issued    atomic.Uint64
+	replied   atomic.Uint64 // settling replies (first reply for a slot)
+	duplicate atomic.Uint64 // suppressed replies: hedge losers, post-timeout stragglers
+	timedOut  atomic.Uint64 // pending entries reaped past their query deadline
+	strays    atomic.Uint64 // replies matching no pending entry
+}
+
+func newCorrelator(backends int) *correlator {
+	c := &correlator{tables: make([]*backendTable, backends)}
+	for i := range c.tables {
+		c.tables[i] = &backendTable{pending: make(map[uint64]*sub)}
+	}
+	return c
+}
+
+// newQuery registers a client query with k shard slots.
+func (c *correlator) newQuery(reqID uint64, typeID uint16, from *net.UDPAddr, payload []byte, k int, now, deadline time.Time) *query {
+	return &query{
+		id:        c.nextQuery.Add(1),
+		reqID:     reqID,
+		typeID:    typeID,
+		from:      from,
+		payload:   payload,
+		start:     now,
+		deadline:  deadline,
+		slots:     make([]slotState, k),
+		unsettled: k,
+	}
+}
+
+// issue registers one transmission of q's slot on backend b and
+// returns its sub-request ID (the wire RequestID).
+func (c *correlator) issue(q *query, slot, backend int, attempt uint8, now time.Time) uint64 {
+	id := c.nextSub.Add(1)
+	sb := &sub{q: q, slot: slot, backend: backend, attempt: attempt, sentAt: now}
+	q.mu.Lock()
+	q.slots[slot].outstanding++
+	if attempt == 0 {
+		q.slots[slot].primary = backend
+	} else {
+		q.hedges++
+	}
+	q.mu.Unlock()
+	bt := c.tables[backend]
+	bt.mu.Lock()
+	bt.pending[id] = sb
+	bt.mu.Unlock()
+	c.issued.Add(1)
+	return id
+}
+
+// replyKind classifies what a backend reply meant.
+type replyKind int
+
+const (
+	// replyStray matched no pending entry (already reaped, or bogus).
+	replyStray replyKind = iota
+	// replySettled was the first reply for its slot.
+	replySettled
+	// replyDuplicate was suppressed: its slot was already settled (a
+	// hedge pair's loser) or its query already finished.
+	replyDuplicate
+)
+
+// replyEvent reports the outcome of one backend reply.
+type replyEvent struct {
+	kind    replyKind
+	sub     *sub
+	latency time.Duration // send-to-reply for this transmission
+	// queryDone is true when this reply settled the query's last open
+	// slot — the reply carrying the slowest shard.
+	queryDone bool
+}
+
+// reply resolves a backend's response to sub-request id. It removes
+// the pending entry, settles the slot on first reply, and reports
+// whether the whole query just completed.
+func (c *correlator) reply(backend int, id uint64, now time.Time) replyEvent {
+	if backend < 0 || backend >= len(c.tables) {
+		c.strays.Add(1)
+		return replyEvent{kind: replyStray}
+	}
+	bt := c.tables[backend]
+	bt.mu.Lock()
+	sb, ok := bt.pending[id]
+	if ok {
+		delete(bt.pending, id)
+	}
+	bt.mu.Unlock()
+	if !ok {
+		c.strays.Add(1)
+		return replyEvent{kind: replyStray}
+	}
+	ev := replyEvent{sub: sb, latency: now.Sub(sb.sentAt)}
+	q := sb.q
+	q.mu.Lock()
+	sl := &q.slots[sb.slot]
+	sl.outstanding--
+	if sl.settled || q.finished {
+		q.mu.Unlock()
+		c.duplicate.Add(1)
+		ev.kind = replyDuplicate
+		return ev
+	}
+	sl.settled = true
+	q.unsettled--
+	if q.unsettled == 0 {
+		q.finished = true
+		ev.queryDone = true
+	}
+	q.mu.Unlock()
+	c.replied.Add(1)
+	ev.kind = replySettled
+	return ev
+}
+
+// reap removes every pending sub-request whose query deadline has
+// passed, counting each as timed out, and returns the expired subs
+// plus the queries that just finished (failed) because their last
+// open slot lost its final transmission.
+func (c *correlator) reap(now time.Time) (expired []*sub, finished []*query) {
+	for _, bt := range c.tables {
+		bt.mu.Lock()
+		for id, sb := range bt.pending {
+			if now.After(sb.q.deadline) {
+				delete(bt.pending, id)
+				expired = append(expired, sb)
+			}
+		}
+		bt.mu.Unlock()
+	}
+	for _, sb := range expired {
+		c.timedOut.Add(1)
+		q := sb.q
+		q.mu.Lock()
+		sl := &q.slots[sb.slot]
+		sl.outstanding--
+		if !sl.settled && sl.outstanding == 0 && !q.finished {
+			// The slot's last transmission expired unanswered: the
+			// slot fails, and with it possibly the query.
+			q.unsettled--
+			q.failed = true
+			if q.unsettled == 0 {
+				q.finished = true
+				finished = append(finished, q)
+			}
+		}
+		q.mu.Unlock()
+	}
+	return expired, finished
+}
+
+// hedgeOrder describes one hedge the frontend should issue.
+type hedgeOrder struct {
+	q    *query
+	slot int
+	// primary is the backend whose slow sub-request triggered the
+	// hedge; the spare must differ from it.
+	primary int
+	// assigned lists backends already serving any slot of the query,
+	// so the spare picker can prefer an out-of-set backend.
+	assigned []int
+	// payload is a copy safe to encode after the query finishes.
+	payload []byte
+}
+
+// hedgeScan finds primary sub-requests that have been outstanding
+// longer than their backend's hedge delay and whose slot is neither
+// settled nor already hedged. It marks each such slot hedged (so a
+// slot hedges at most once) and returns the orders; the caller issues
+// and transmits them.
+func (c *correlator) hedgeScan(now time.Time, delayFor func(backend int) time.Duration) []hedgeOrder {
+	var orders []hedgeOrder
+	for b, bt := range c.tables {
+		d := delayFor(b)
+		if d <= 0 {
+			continue
+		}
+		var candidates []*sub
+		bt.mu.Lock()
+		for _, sb := range bt.pending {
+			if sb.attempt == 0 && now.Sub(sb.sentAt) > d {
+				candidates = append(candidates, sb)
+			}
+		}
+		bt.mu.Unlock()
+		for _, sb := range candidates {
+			q := sb.q
+			q.mu.Lock()
+			sl := &q.slots[sb.slot]
+			if sl.settled || sl.hedged || q.finished {
+				q.mu.Unlock()
+				continue
+			}
+			sl.hedged = true
+			assigned := make([]int, 0, len(q.slots))
+			for i := range q.slots {
+				if q.slots[i].outstanding > 0 || q.slots[i].settled {
+					assigned = append(assigned, q.slots[i].primary)
+				}
+			}
+			payload := append([]byte(nil), q.payload...)
+			q.mu.Unlock()
+			orders = append(orders, hedgeOrder{q: q, slot: sb.slot, primary: sb.backend, assigned: assigned, payload: payload})
+		}
+	}
+	return orders
+}
+
+// cancelHedge unmarks a slot the frontend could not find a spare
+// backend for, so a later scan may retry.
+func (c *correlator) cancelHedge(q *query, slot int) {
+	q.mu.Lock()
+	q.slots[slot].hedged = false
+	q.mu.Unlock()
+}
+
+// pendingCount reports outstanding sub-requests across all tables.
+func (c *correlator) pendingCount() int {
+	n := 0
+	for _, bt := range c.tables {
+		bt.mu.Lock()
+		n += len(bt.pending)
+		bt.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,279 @@
+package frontend
+
+import (
+	"testing"
+	"time"
+)
+
+// conservation asserts the correlator's core invariant at a quiescent
+// point: issued == replied + duplicate + timedOut + pending.
+func conservation(t *testing.T, c *correlator) {
+	t.Helper()
+	issued := c.issued.Load()
+	accounted := c.replied.Load() + c.duplicate.Load() + c.timedOut.Load() + uint64(c.pendingCount())
+	if issued != accounted {
+		t.Fatalf("conservation violated: issued=%d replied=%d duplicate=%d timedOut=%d pending=%d",
+			issued, c.replied.Load(), c.duplicate.Load(), c.timedOut.Load(), c.pendingCount())
+	}
+}
+
+func TestCorrelatorFirstReplyWins(t *testing.T) {
+	c := newCorrelator(2)
+	now := time.Unix(0, 0)
+	q := c.newQuery(7, 1, nil, []byte("x"), 2, now, now.Add(time.Second))
+	id0 := c.issue(q, 0, 0, 0, now)
+	id1 := c.issue(q, 1, 1, 0, now)
+
+	ev := c.reply(0, id0, now.Add(time.Millisecond))
+	if ev.kind != replySettled || ev.queryDone {
+		t.Fatalf("first reply: kind=%v done=%v", ev.kind, ev.queryDone)
+	}
+	if ev.latency != time.Millisecond {
+		t.Fatalf("latency = %v", ev.latency)
+	}
+	ev = c.reply(1, id1, now.Add(2*time.Millisecond))
+	if ev.kind != replySettled || !ev.queryDone {
+		t.Fatalf("last reply: kind=%v done=%v", ev.kind, ev.queryDone)
+	}
+	// A straggler for an already-resolved id is a stray (entry gone).
+	if ev := c.reply(1, id1, now); ev.kind != replyStray {
+		t.Fatalf("straggler kind = %v", ev.kind)
+	}
+	conservation(t, c)
+}
+
+func TestCorrelatorHedgeDuplicate(t *testing.T) {
+	c := newCorrelator(3)
+	now := time.Unix(0, 0)
+	q := c.newQuery(1, 0, nil, []byte("y"), 1, now, now.Add(time.Second))
+	primary := c.issue(q, 0, 0, 0, now)
+
+	orders := c.hedgeScan(now.Add(10*time.Millisecond), func(int) time.Duration { return time.Millisecond })
+	if len(orders) != 1 || orders[0].slot != 0 || orders[0].primary != 0 {
+		t.Fatalf("orders = %+v", orders)
+	}
+	// A second scan must not hedge the same slot again.
+	if again := c.hedgeScan(now.Add(20*time.Millisecond), func(int) time.Duration { return time.Millisecond }); len(again) != 0 {
+		t.Fatalf("slot hedged twice: %+v", again)
+	}
+	hedge := c.issue(q, 0, 2, 1, now.Add(10*time.Millisecond))
+
+	// Hedge wins; the primary's later reply is suppressed.
+	ev := c.reply(2, hedge, now.Add(11*time.Millisecond))
+	if ev.kind != replySettled || !ev.queryDone || ev.sub.attempt != 1 {
+		t.Fatalf("hedge reply: %+v", ev)
+	}
+	ev = c.reply(0, primary, now.Add(50*time.Millisecond))
+	if ev.kind != replyDuplicate {
+		t.Fatalf("primary straggler kind = %v", ev.kind)
+	}
+	if got := c.duplicate.Load(); got != 1 {
+		t.Fatalf("duplicates = %d", got)
+	}
+	conservation(t, c)
+}
+
+func TestCorrelatorCancelHedgeAllowsRetry(t *testing.T) {
+	c := newCorrelator(1)
+	now := time.Unix(0, 0)
+	q := c.newQuery(1, 0, nil, nil, 1, now, now.Add(time.Second))
+	c.issue(q, 0, 0, 0, now)
+	d := func(int) time.Duration { return time.Millisecond }
+	if got := len(c.hedgeScan(now.Add(5*time.Millisecond), d)); got != 1 {
+		t.Fatalf("first scan orders = %d", got)
+	}
+	c.cancelHedge(q, 0)
+	if got := len(c.hedgeScan(now.Add(6*time.Millisecond), d)); got != 1 {
+		t.Fatalf("post-cancel scan orders = %d", got)
+	}
+}
+
+func TestCorrelatorReapFailsQuery(t *testing.T) {
+	c := newCorrelator(2)
+	now := time.Unix(0, 0)
+	q := c.newQuery(9, 0, nil, nil, 2, now, now.Add(100*time.Millisecond))
+	c.issue(q, 0, 0, 0, now)
+	id1 := c.issue(q, 1, 1, 0, now)
+
+	// Shard 1 answers in time; shard 0 never does.
+	if ev := c.reply(1, id1, now.Add(time.Millisecond)); ev.kind != replySettled || ev.queryDone {
+		t.Fatalf("reply: %+v", ev)
+	}
+	expired, finished := c.reap(now.Add(200 * time.Millisecond))
+	if len(expired) != 1 || expired[0].slot != 0 {
+		t.Fatalf("expired = %+v", expired)
+	}
+	if len(finished) != 1 || finished[0] != q {
+		t.Fatalf("finished = %+v", finished)
+	}
+	q.mu.Lock()
+	failed, done := q.failed, q.finished
+	q.mu.Unlock()
+	if !failed || !done {
+		t.Fatalf("failed=%v finished=%v", failed, done)
+	}
+	if c.timedOut.Load() != 1 {
+		t.Fatalf("timedOut = %d", c.timedOut.Load())
+	}
+	conservation(t, c)
+}
+
+func TestCorrelatorStray(t *testing.T) {
+	c := newCorrelator(1)
+	if ev := c.reply(0, 999, time.Unix(0, 0)); ev.kind != replyStray {
+		t.Fatalf("kind = %v", ev.kind)
+	}
+	if ev := c.reply(-1, 1, time.Unix(0, 0)); ev.kind != replyStray {
+		t.Fatalf("out-of-range backend kind = %v", ev.kind)
+	}
+	if c.strays.Load() != 2 {
+		t.Fatalf("strays = %d", c.strays.Load())
+	}
+}
+
+func TestHealthEjection(t *testing.T) {
+	h := newHealth(8)
+	now := time.Unix(0, 0)
+	cool := time.Second
+	if !h.healthy(now) {
+		t.Fatal("fresh backend unhealthy")
+	}
+	if h.timeout(now, 3, cool) || h.timeout(now, 3, cool) {
+		t.Fatal("ejected before streak reached 3")
+	}
+	if !h.timeout(now, 3, cool) {
+		t.Fatal("third consecutive timeout did not eject")
+	}
+	if h.healthy(now.Add(cool / 2)) {
+		t.Fatal("healthy during cooldown")
+	}
+	if !h.healthy(now.Add(cool + time.Nanosecond)) {
+		t.Fatal("still ejected after cooldown")
+	}
+	// A successful reply clears the streak.
+	h.observe(time.Millisecond)
+	after := now.Add(2 * cool)
+	if h.timeout(after, 3, cool) || h.timeout(after, 3, cool) {
+		t.Fatal("streak not cleared by observe")
+	}
+	if h.ejectionCount() != 1 {
+		t.Fatalf("ejections = %d", h.ejectionCount())
+	}
+	if !h.crash(after, cool) {
+		t.Fatal("crash did not eject")
+	}
+	if h.ejectionCount() != 2 {
+		t.Fatalf("ejections after crash = %d", h.ejectionCount())
+	}
+}
+
+func TestHealthP99(t *testing.T) {
+	h := newHealth(64)
+	if h.p99() != 0 {
+		t.Fatal("p99 nonzero with no samples")
+	}
+	for i := 0; i < 15; i++ {
+		h.observe(time.Millisecond)
+	}
+	if h.p99() != 0 {
+		t.Fatal("p99 nonzero below the sample floor")
+	}
+	h.observe(100 * time.Millisecond)
+	if got := h.p99(); got != 100*time.Millisecond {
+		t.Fatalf("p99 = %v, want the tail sample", got)
+	}
+}
+
+// FuzzCorrelationTable drives the correlator through arbitrary
+// interleavings of query creation, replies (valid, duplicate, bogus),
+// hedges, and reaps, then asserts the structural invariants: no
+// pending entry leaks, no query finishes twice, and every issued
+// transmission is accounted exactly once.
+func FuzzCorrelationTable(f *testing.F) {
+	f.Add([]byte{0, 2, 1, 0, 3, 50, 4, 1, 0})
+	f.Add([]byte{0, 1, 0, 3, 200, 0, 3, 1, 1, 1, 2})
+	f.Add([]byte{0, 3, 4, 1, 0, 1, 0, 1, 1, 3, 255, 2, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const backends = 3
+		c := newCorrelator(backends)
+		now := time.Unix(0, 0)
+		type issuedSub struct {
+			id      uint64
+			backend int
+		}
+		var subs []issuedSub
+		var queries []*query
+		done := map[uint64]int{} // query id -> completion events observed
+
+		finish := func(q *query) {
+			done[q.id]++
+			if done[q.id] > 1 {
+				t.Fatalf("query %d finished twice", q.id)
+			}
+		}
+
+		pos := 0
+		next := func() byte {
+			if pos >= len(data) {
+				return 0
+			}
+			b := data[pos]
+			pos++
+			return b
+		}
+		for pos < len(data) {
+			switch next() % 5 {
+			case 0: // new query with k primaries
+				k := int(next())%backends + 1
+				q := c.newQuery(uint64(len(queries)), 0, nil, []byte{1, 2}, k, now, now.Add(100*time.Millisecond))
+				queries = append(queries, q)
+				for slot := 0; slot < k; slot++ {
+					b := (slot + int(next())) % backends
+					subs = append(subs, issuedSub{id: c.issue(q, slot, b, 0, now), backend: b})
+				}
+			case 1: // reply to a previously issued sub (maybe already resolved)
+				if len(subs) == 0 {
+					continue
+				}
+				s := subs[int(next())%len(subs)]
+				if ev := c.reply(s.backend, s.id, now); ev.queryDone {
+					finish(ev.sub.q)
+				}
+			case 2: // bogus reply — must be a stray, never corrupt state
+				if ev := c.reply(int(next())%backends, uint64(next())+1_000_000, now); ev.kind != replyStray {
+					t.Fatalf("bogus reply classified %v", ev.kind)
+				}
+			case 3: // advance time and reap
+				now = now.Add(time.Duration(next()) * time.Millisecond)
+				_, finished := c.reap(now)
+				for _, q := range finished {
+					finish(q)
+				}
+			case 4: // hedge scan; issue every order
+				for _, o := range c.hedgeScan(now, func(int) time.Duration { return time.Millisecond }) {
+					b := int(next()) % backends
+					subs = append(subs, issuedSub{id: c.issue(o.q, o.slot, b, 1, now), backend: b})
+				}
+			}
+		}
+		// Drain: everything still pending times out; queries finish.
+		_, finished := c.reap(now.Add(time.Hour))
+		for _, q := range finished {
+			finish(q)
+		}
+		if p := c.pendingCount(); p != 0 {
+			t.Fatalf("pending entries leaked: %d", p)
+		}
+		issued := c.issued.Load()
+		accounted := c.replied.Load() + c.duplicate.Load() + c.timedOut.Load()
+		if issued != accounted {
+			t.Fatalf("conservation violated after drain: issued=%d replied=%d duplicate=%d timedOut=%d",
+				issued, c.replied.Load(), c.duplicate.Load(), c.timedOut.Load())
+		}
+		for _, q := range queries {
+			if done[q.id] != 1 {
+				t.Fatalf("query %d completion events = %d, want exactly 1", q.id, done[q.id])
+			}
+		}
+	})
+}

@@ -54,6 +54,11 @@ type Config struct {
 	// RetryBackoffMax caps the exponential backoff growth (default
 	// 64x RetryBackoff).
 	RetryBackoffMax time.Duration
+	// Frontend marks the target as a fan-out frontend rather than a
+	// single Perséphone backend: RunUDP then decodes the correlation
+	// trailer on responses and counts queries the frontend answered
+	// with the help of a hedge (Result.Hedged).
+	Frontend bool
 }
 
 func (c *Config) fill() error {
@@ -115,6 +120,7 @@ type Result struct {
 	TimedOut uint64 // requests that never received any response
 	Retries  uint64 // retransmissions of already-sent requests
 	Errors   uint64 // submissions rejected (backpressure)
+	Hedged   uint64 // frontend mode: received queries with >= 1 hedge issued
 	Elapsed  time.Duration
 	// Latency holds client-observed latency per type index, plus an
 	// aggregate in Overall. Latency is measured from the FIRST

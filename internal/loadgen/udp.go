@@ -62,7 +62,7 @@ func RunUDPAddrs(addrs []string, cfg Config) (*Result, error) {
 	res := newResult(len(cfg.Mix.Types))
 	var mu sync.Mutex
 	inflight := make(map[uint64]*pendingReq)
-	var received, dropped, timedOut, retries atomic.Uint64
+	var received, dropped, timedOut, retries, hedged atomic.Uint64
 
 	// Receivers, one per shard socket: match responses to sends.
 	// Responses to requests already expired (or duplicate responses)
@@ -94,6 +94,13 @@ func RunUDPAddrs(addrs []string, cfg Config) (*Result, error) {
 				if h.Status != proto.StatusOK {
 					dropped.Add(1)
 					continue
+				}
+				if cfg.Frontend {
+					// Frontend responses carry a correlation trailer
+					// whose Attempt field is the query's hedge count.
+					if corr, ok := proto.DecodeCorrelation(buf[:n], h); ok && corr.Attempt > 0 {
+						hedged.Add(1)
+					}
 				}
 				lat := time.Since(rec.firstSent)
 				received.Add(1)
@@ -222,6 +229,7 @@ func RunUDPAddrs(addrs []string, cfg Config) (*Result, error) {
 	res.Dropped = dropped.Load()
 	res.TimedOut = timedOut.Load() + uint64(lost)
 	res.Retries = retries.Load()
+	res.Hedged = hedged.Load()
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

@@ -162,6 +162,69 @@ func AppendTiming(dst []byte, t Timing) []byte {
 	return append(dst, buf[:]...)
 }
 
+// CorrelationMagic guards the optional correlation trailer the
+// fan-out frontend appends after the payload.
+const CorrelationMagic uint16 = 0x7146
+
+// CorrelationSize is the trailer length: magic + query id + shard +
+// attempt.
+const CorrelationSize = 12
+
+// Correlation is the fan-out frontend's query-correlation trailer. On
+// frontend→backend sub-requests it names the query, the shard slot
+// within the query, and the transmission attempt (0 = primary, 1 =
+// hedge); the backend's UDP responder echoes it verbatim on the reply
+// so the frontend can correlate even when its pending entry is gone.
+// On frontend→client responses the same trailer summarises the query:
+// Shard carries the fan-out degree and Attempt the number of hedged
+// sub-requests. Like the timing trailer it sits after the payload, so
+// clients that decode only Header+payload never see it.
+type Correlation struct {
+	// QueryID is the frontend-assigned query identifier.
+	QueryID uint64
+	// Shard is the slot index within the query (requests) or the
+	// fan-out degree (client-facing responses).
+	Shard uint8
+	// Attempt is 0 for a primary sub-request, 1 for a hedge
+	// (requests), or the query's hedge count (client-facing responses).
+	Attempt uint8
+}
+
+// AppendCorrelation appends the correlation trailer to an encoded
+// message.
+func AppendCorrelation(dst []byte, c Correlation) []byte {
+	var buf [CorrelationSize]byte
+	binary.LittleEndian.PutUint16(buf[0:2], CorrelationMagic)
+	binary.LittleEndian.PutUint64(buf[2:10], c.QueryID)
+	buf[10] = c.Shard
+	buf[11] = c.Attempt
+	return append(dst, buf[:]...)
+}
+
+// DecodeCorrelation extracts the correlation trailer from a full
+// message whose decoded header is h. A timing trailer, if present,
+// is skipped first (responses carry timing before correlation). ok is
+// false when no correlation trailer is present.
+func DecodeCorrelation(buf []byte, h Header) (Correlation, bool) {
+	off := HeaderSize + int(h.PayloadLen)
+	if len(buf) >= off+TimingSize &&
+		binary.LittleEndian.Uint16(buf[off:off+2]) == TimingMagic {
+		off += TimingSize
+	}
+	if len(buf) < off+CorrelationSize {
+		return Correlation{}, false
+	}
+	tail := buf[off:]
+	if binary.LittleEndian.Uint16(tail[0:2]) != CorrelationMagic {
+		return Correlation{}, false
+	}
+	return Correlation{
+		QueryID: binary.LittleEndian.Uint64(tail[2:10]),
+		Shard:   tail[10],
+		Attempt: tail[11],
+	}, true
+}
+
 // DecodeTiming extracts the timing trailer from a full message whose
 // decoded header is h. ok is false when no trailer is present.
 func DecodeTiming(buf []byte, h Header) (Timing, bool) {

@@ -92,3 +92,62 @@ func TestOversizedPayloadPanics(t *testing.T) {
 	}()
 	AppendMessage(nil, Header{}, make([]byte, 1<<17))
 }
+
+func TestCorrelationRoundTrip(t *testing.T) {
+	h := Header{Kind: KindRequest, TypeID: 3, RequestID: 42}
+	c := Correlation{QueryID: 7, Shard: 2, Attempt: 1}
+	msg := AppendMessage(nil, h, []byte("sub"))
+	msg = AppendCorrelation(msg, c)
+
+	dec, payload, err := DecodeHeader(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(payload) != "sub" {
+		t.Fatalf("payload = %q (trailer must stay invisible to plain decode)", payload)
+	}
+	got, ok := DecodeCorrelation(msg, dec)
+	if !ok || got != c {
+		t.Fatalf("got %+v ok=%v, want %+v", got, ok, c)
+	}
+}
+
+func TestCorrelationAfterTimingTrailer(t *testing.T) {
+	// Responses carry timing before correlation; the decoder must skip
+	// over the timing trailer.
+	h := Header{Kind: KindResponse, RequestID: 9}
+	tm := Timing{Queue: 10, Service: 20}
+	c := Correlation{QueryID: 99, Shard: 1, Attempt: 0}
+	msg := AppendResponse(nil, h, []byte("r"), tm)
+	msg = AppendCorrelation(msg, c)
+
+	dec, _, err := DecodeHeader(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotT, ok := DecodeTiming(msg, dec)
+	if !ok || gotT != tm {
+		t.Fatalf("timing = %+v ok=%v", gotT, ok)
+	}
+	gotC, ok := DecodeCorrelation(msg, dec)
+	if !ok || gotC != c {
+		t.Fatalf("correlation = %+v ok=%v", gotC, ok)
+	}
+}
+
+func TestCorrelationAbsent(t *testing.T) {
+	h := Header{Kind: KindResponse, RequestID: 1}
+	msg := AppendResponse(nil, h, []byte("x"), Timing{})
+	dec, _, err := DecodeHeader(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := DecodeCorrelation(msg, dec); ok {
+		t.Fatal("decoded a correlation trailer that was never appended")
+	}
+	// Truncated trailer must not decode either.
+	msg = AppendCorrelation(msg, Correlation{QueryID: 1})
+	if _, ok := DecodeCorrelation(msg[:len(msg)-1], dec); ok {
+		t.Fatal("decoded a truncated correlation trailer")
+	}
+}

@@ -566,12 +566,30 @@ func (s *Server) dispatchDARC() bool {
 		moved = true
 	}
 	if !s.unknown.empty() {
-		if w := s.firstFree(res.SpillwayWorkers, nil); w >= 0 {
+		w := s.firstFree(res.SpillwayWorkers, nil)
+		if w < 0 && len(res.SpillwayWorkers) == 0 {
+			// No designated spillway cores (Spillway=0 or single-worker
+			// configs): unclassifiable requests must still drain, so
+			// serve them on any free worker at lowest priority — after
+			// every typed queue has had its chance — instead of
+			// starving the unknown queue until shutdown.
+			w = s.anyFree()
+		}
+		if w >= 0 {
 			s.handoff(w, s.unknown.pop())
 			moved = true
 		}
 	}
 	return moved
+}
+
+func (s *Server) anyFree() int {
+	for i, f := range s.free {
+		if f {
+			return i
+		}
+	}
+	return -1
 }
 
 func (s *Server) firstFree(reserved, stealable []int) int {

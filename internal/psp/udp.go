@@ -283,8 +283,12 @@ func (u *UDPServer) netWorker(sh *udpShard) {
 				buf.Release()
 				continue
 			}
+			// A fan-out frontend tags sub-requests with a correlation
+			// trailer; capture it by value so the responder can echo it
+			// after the ingress buffer is overwritten by the response.
+			corr, hasCorr := proto.DecodeCorrelation(buf.Bytes(), hdr)
 			req := &Request{payload: payload, buf: buf}
-			req.respond = sh.responder(req, hdr.RequestID, from)
+			req.respond = sh.responder(req, hdr.RequestID, from, corr, hasCorr)
 			batch = append(batch, req)
 			// Chaos layer: duplicated delivery, as a retransmitting
 			// network would produce. The copy owns its payload and has
@@ -292,7 +296,7 @@ func (u *UDPServer) netWorker(sh *udpShard) {
 			// fallback and cannot race the original for the buffer.
 			if u.Server.inj.IngressDup() {
 				dup := &Request{payload: append([]byte(nil), payload...)}
-				dup.respond = sh.responder(dup, hdr.RequestID, from)
+				dup.respond = sh.responder(dup, hdr.RequestID, from, corr, hasCorr)
 				batch = append(batch, dup)
 			}
 		}
@@ -321,8 +325,10 @@ func (u *UDPServer) netWorker(sh *udpShard) {
 // response into the request's own ingress buffer (zero-copy) and push
 // it onto the shard's TX ring. Requests without a reusable buffer
 // (chaos duplicates, oversized responses) fall back to a one-off
-// allocation and an inline write.
-func (sh *udpShard) responder(req *Request, reqID uint64, addr *net.UDPAddr) func(Response) {
+// allocation and an inline write. Requests that arrived with a
+// correlation trailer (fan-out sub-requests) get it echoed after the
+// timing trailer.
+func (sh *udpShard) responder(req *Request, reqID uint64, addr *net.UDPAddr, corr proto.Correlation, hasCorr bool) func(Response) {
 	return func(resp Response) {
 		hdr := proto.Header{
 			Status:    resp.Status,
@@ -330,12 +336,19 @@ func (sh *udpShard) responder(req *Request, reqID uint64, addr *net.UDPAddr) fun
 			RequestID: reqID,
 		}
 		tm := proto.Timing{Queue: resp.QueueDelay, Service: resp.Service}
-		if b := req.buf; b != nil && cap(b.Data) >= proto.ResponseOverhead+len(resp.Payload) {
+		need := proto.ResponseOverhead + len(resp.Payload)
+		if hasCorr {
+			need += proto.CorrelationSize
+		}
+		if b := req.buf; b != nil && cap(b.Data) >= need {
 			// Take ownership of the ingress buffer: the settling
 			// goroutine skips its release, and the TX loop returns the
 			// buffer to the pool after the frame is on the wire.
 			req.buf = nil
 			msg := proto.AppendResponse(b.Data[:0], hdr, resp.Payload, tm)
+			if hasCorr {
+				msg = proto.AppendCorrelation(msg, corr)
+			}
 			b.Len = len(msg)
 			if sh.tx.TryPut(txFrame{buf: b, addr: addr}) {
 				return
@@ -346,7 +359,10 @@ func (sh *udpShard) responder(req *Request, reqID uint64, addr *net.UDPAddr) fun
 			b.Release()
 			return
 		}
-		msg := proto.AppendResponse(make([]byte, 0, proto.ResponseOverhead+len(resp.Payload)), hdr, resp.Payload, tm)
+		msg := proto.AppendResponse(make([]byte, 0, need), hdr, resp.Payload, tm)
+		if hasCorr {
+			msg = proto.AppendCorrelation(msg, corr)
+		}
 		sh.conn.WriteToUDP(msg, addr) //nolint:errcheck // fire-and-forget UDP
 	}
 }
