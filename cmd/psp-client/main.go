@@ -1,11 +1,12 @@
 // Command psp-client is the open-loop Poisson load generator for
-// psp-server: it offers a configured request rate over UDP, matches
-// responses by request ID, and reports client-observed latency per
-// request type.
+// psp-server: it offers a configured request rate over UDP or TCP,
+// matches responses by request ID, and reports client-observed
+// latency per request type.
 //
 // Usage:
 //
 //	psp-client -addr 127.0.0.1:9940 -workload high-bimodal -rate 5000 -duration 10s
+//	psp-client -transport tcp -conns 4 -depth 16 -addr 127.0.0.1:9940 -rate 5000
 package main
 
 import (
@@ -45,8 +46,11 @@ func expandShards(addr string, n int) (string, error) {
 }
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:9940", "server UDP address, or comma-separated shard list")
-	shards := flag.Int("shards", 1, "expand -addr into this many consecutive-port shard addresses")
+	addr := flag.String("addr", "127.0.0.1:9940", "server address, or comma-separated UDP shard list")
+	transport := flag.String("transport", "udp", "server transport: udp or tcp")
+	shards := flag.Int("shards", 1, "expand -addr into this many consecutive-port shard addresses (UDP only)")
+	conns := flag.Int("conns", 1, "TCP connections to open")
+	depth := flag.Int("depth", 32, "max pipelined requests per TCP connection")
 	workloadName := flag.String("workload", "high-bimodal", "workload mix (type ratios)")
 	rate := flag.Float64("rate", 5000, "offered requests per second")
 	duration := flag.Duration("duration", 5*time.Second, "generation duration")
@@ -63,12 +67,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	target, err := expandShards(*addr, *shards)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	res, err := persephone.GenerateLoadUDP(target, persephone.LoadConfig{
+	cfg := persephone.LoadConfig{
 		Mix:             mix,
 		Rate:            *rate,
 		Duration:        *duration,
@@ -78,6 +77,8 @@ func main() {
 		RetryBackoff:    *backoff,
 		RetryBackoffMax: *backoffMax,
 		Frontend:        *frontendMode,
+		Conns:           *conns,
+		Pipeline:        *depth,
 		BuildPayload: func(typ int) []byte {
 			// 2-byte type + 4 bytes of per-request entropy, matching
 			// psp-server's applications.
@@ -86,10 +87,34 @@ func main() {
 			binary.LittleEndian.PutUint32(p[2:6], uint32(typ*2654435761))
 			return p
 		},
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	}
+	var res *persephone.LoadResult
+	switch *transport {
+	case "udp":
+		target, err := expandShards(*addr, *shards)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		res, err = persephone.GenerateLoadUDP(target, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case "tcp":
+		if *frontendMode {
+			fmt.Fprintln(os.Stderr, "-frontend is UDP-only: psp-frontend speaks datagrams to clients")
+			os.Exit(2)
+		}
+		var err error
+		res, err = persephone.GenerateLoadTCP(*addr, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -transport %q (want udp or tcp)\n", *transport)
+		os.Exit(2)
 	}
 	fmt.Printf("sent %d  received %d  dropped %d  timed out %d  retries %d  achieved %.0f rps\n",
 		res.Sent, res.Received, res.Dropped, res.TimedOut, res.Retries, res.AchievedRate())

@@ -1,5 +1,5 @@
-// Command psp-server runs the live Perséphone runtime over UDP with
-// one of three built-in applications:
+// Command psp-server runs the live Perséphone runtime over UDP or TCP
+// with one of three built-in applications:
 //
 //   - synthetic: requests spin for their type's service time (pick a
 //     workload to define the types);
@@ -32,9 +32,10 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:9940", "UDP listen address (shard i binds port+i)")
-	shards := flag.Int("shards", 1, "UDP ingress shards, one socket + net worker each")
-	burst := flag.Int("burst", 32, "max datagrams a net worker drains per wakeup")
+	addr := flag.String("addr", "127.0.0.1:9940", "listen address (UDP shard i binds port+i)")
+	transport := flag.String("transport", "udp", "listen transport: udp or tcp")
+	shards := flag.Int("shards", 1, "ingress shards: UDP sockets (one net worker each) or TCP accept shards")
+	burst := flag.Int("burst", 32, "max datagrams or frames drained per socket wakeup")
 	workers := flag.Int("workers", 4, "application worker goroutines")
 	app := flag.String("app", "synthetic", "application: synthetic, kv, tpcc")
 	workloadName := flag.String("workload", "high-bimodal", "synthetic app: workload defining per-type service times")
@@ -72,13 +73,17 @@ func main() {
 			spanW.Write(sp) //nolint:errcheck // sticky, reported at Flush
 		}
 	}
-	ln, err := persephone.Listen("udp", *addr, cfg)
+	if *transport != "udp" && *transport != "tcp" {
+		fmt.Fprintf(os.Stderr, "unknown -transport %q (want udp or tcp)\n", *transport)
+		os.Exit(2)
+	}
+	ln, err := persephone.Listen(*transport, *addr, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("psp-server: %s app on %s (%d shard(s), burst %d), %d workers, policy %s\n",
-		*app, ln.AddrStrings(), *shards, *burst, *workers, policyName(*cfcfs))
+	fmt.Printf("psp-server: %s app on %s/%s (%d shard(s), burst %d), %d workers, policy %s\n",
+		*app, *transport, ln.AddrStrings(), *shards, *burst, *workers, policyName(*cfcfs))
 	if cfg.Faults != nil {
 		fmt.Printf("chaos profile active: %s\n", cfg.Faults)
 	}

@@ -4,7 +4,8 @@
 // (internal/proto framing plus a correlation-ID trailer the backends
 // echo), and answers the client when the slowest shard responds — the
 // layer where per-backend scheduling tails compound at the query
-// level.
+// level. Sub-requests travel as datagrams by default, or over one
+// pipelined length-prefixed TCP stream per backend (Config.Network).
 //
 // Two tail-cutting mechanisms complement the backends' scheduling
 // (RepNet, PAPERS.md): hedged requests — a sub-request outstanding
@@ -22,6 +23,7 @@
 package frontend
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -32,13 +34,21 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/proto"
+	"repro/internal/psp"
 	"repro/internal/spsc"
 )
 
 // Config assembles a Frontend.
 type Config struct {
-	// Backends lists the backend UDP addresses (required, >= 1).
+	// Backends lists the backend addresses (required, >= 1).
 	Backends []string
+	// Network selects the backend transport: "udp" (default) sends
+	// each sub-request as a datagram; "tcp" keeps one pipelined
+	// length-prefixed-frame connection per backend, sub-requests
+	// matched back by request ID. The client-facing socket is always
+	// UDP either way. A broken TCP backend stream is not redialed:
+	// its sub-requests time out and health ejection routes around it.
+	Network string
 	// FanOut is how many distinct backends each query contacts
 	// (default: min(2, len(Backends)); clamped to the healthy set at
 	// issue time).
@@ -75,6 +85,13 @@ func (c *Config) fill() error {
 	if len(c.Backends) == 0 {
 		return errors.New("frontend: config needs at least one backend")
 	}
+	switch c.Network {
+	case "":
+		c.Network = "udp"
+	case "udp", "tcp":
+	default:
+		return fmt.Errorf("frontend: unsupported backend network %q (want udp or tcp)", c.Network)
+	}
 	if c.FanOut <= 0 {
 		c.FanOut = 2
 	}
@@ -110,12 +127,33 @@ const queryBufPayload = 2048
 
 // backendConn is the frontend's lane to one backend: a dialed socket
 // (receives only that backend's replies), the pending table index,
-// and health state.
+// and health state. On UDP the socket carries datagrams; on TCP it is
+// one pipelined stream of length-prefixed frames.
 type backendConn struct {
-	addr    *net.UDPAddr
-	conn    *net.UDPConn
+	network string
+	conn    net.Conn
+	wmu     sync.Mutex // TCP: intake and hedge senders must not interleave mid-frame
+	scratch []byte     // TCP: prefix+frame staged into one Write
 	sent    atomic.Uint64
 	replies atomic.Uint64
+}
+
+// send transmits one encoded sub-request: the raw message as a
+// datagram on UDP, or a 4-byte little-endian length prefix plus the
+// message as a single Write on TCP (so concurrent senders cannot
+// interleave mid-frame). Errors are dropped either way — a dead lane
+// surfaces as sub-request timeouts, which is what ejects it.
+func (bc *backendConn) send(msg []byte) {
+	if bc.network != "tcp" {
+		bc.conn.Write(msg) //nolint:errcheck // fire-and-forget UDP
+		return
+	}
+	bc.wmu.Lock()
+	bc.scratch = append(bc.scratch[:0], 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(bc.scratch, uint32(len(msg)))
+	bc.scratch = append(bc.scratch, msg...)
+	bc.conn.Write(bc.scratch) //nolint:errcheck
+	bc.wmu.Unlock()
 }
 
 // Frontend is a running fan-out tier.
@@ -168,17 +206,12 @@ func Listen(addr string, cfg Config) (*Frontend, error) {
 		stopTick: make(chan struct{}),
 	}
 	for i, b := range cfg.Backends {
-		ba, err := net.ResolveUDPAddr("udp", strings.TrimSpace(b))
-		if err != nil {
-			f.closeConns()
-			return nil, fmt.Errorf("frontend: backend %d %q: %w", i, b, err)
-		}
-		bc, err := net.DialUDP("udp", nil, ba)
+		bc, err := net.Dial(cfg.Network, strings.TrimSpace(b))
 		if err != nil {
 			f.closeConns()
 			return nil, fmt.Errorf("frontend: dial backend %d %q: %w", i, b, err)
 		}
-		f.backends = append(f.backends, &backendConn{addr: ba, conn: bc})
+		f.backends = append(f.backends, &backendConn{network: cfg.Network, conn: bc})
 		f.health = append(f.health, newHealth(cfg.HedgeWindow))
 	}
 	f.wg.Add(1)
@@ -264,7 +297,7 @@ func (f *Frontend) intakeLoop() {
 				QueryID: q.id, Shard: uint8(slot), Attempt: 0,
 			})
 			f.backends[b].sent.Add(1)
-			f.backends[b].conn.Write(encode) //nolint:errcheck // fire-and-forget UDP
+			f.backends[b].send(encode)
 		}
 	}
 }
@@ -305,36 +338,59 @@ func (f *Frontend) sendShed(hdr proto.Header, from *net.UDPAddr) {
 }
 
 // receiverLoop drains one backend's replies and resolves them against
-// its pending table.
+// its pending table: one datagram per reply on UDP, a FrameScanner
+// re-assembling length-prefixed frames on TCP.
 func (f *Frontend) receiverLoop(b int) {
 	defer f.wg.Done()
 	bc := f.backends[b]
 	buf := make([]byte, queryBufPayload+proto.ResponseOverhead+proto.CorrelationSize)
+	if bc.network == "tcp" {
+		var sc psp.FrameScanner
+		for {
+			n, err := bc.conn.Read(buf)
+			if n > 0 {
+				if serr := sc.Push(buf[:n], func(frame []byte) error {
+					f.processReply(b, bc, frame)
+					return nil
+				}); serr != nil {
+					return // unframeable stream: drop the lane, timeouts eject it
+				}
+			}
+			if err != nil {
+				return // socket closed
+			}
+		}
+	}
 	for {
 		n, err := bc.conn.Read(buf)
 		if err != nil {
 			return // socket closed
 		}
-		hdr, payload, perr := proto.DecodeHeader(buf[:n])
-		if perr != nil || hdr.Kind != proto.KindResponse {
-			continue
+		f.processReply(b, bc, buf[:n])
+	}
+}
+
+// processReply resolves one reply frame (a datagram body or a decoded
+// TCP frame) against backend b's pending table.
+func (f *Frontend) processReply(b int, bc *backendConn, data []byte) {
+	hdr, payload, perr := proto.DecodeHeader(data)
+	if perr != nil || hdr.Kind != proto.KindResponse {
+		return
+	}
+	now := time.Now()
+	ev := f.corr.reply(b, hdr.RequestID, now)
+	switch ev.kind {
+	case replyStray, replyDuplicate:
+	case replySettled:
+		bc.replies.Add(1)
+		f.health[b].observe(ev.latency)
+		if ev.sub.attempt > 0 {
+			f.hedgeWins.Add(1)
 		}
-		now := time.Now()
-		ev := f.corr.reply(b, hdr.RequestID, now)
-		switch ev.kind {
-		case replyStray, replyDuplicate:
-			continue
-		case replySettled:
-			bc.replies.Add(1)
-			f.health[b].observe(ev.latency)
-			if ev.sub.attempt > 0 {
-				f.hedgeWins.Add(1)
-			}
-			if ev.queryDone {
-				// This reply carried the slowest shard: answer the
-				// client with its payload.
-				f.finishQuery(ev.sub.q, hdr.Status, payload, now)
-			}
+		if ev.queryDone {
+			// This reply carried the slowest shard: answer the
+			// client with its payload.
+			f.finishQuery(ev.sub.q, hdr.Status, payload, now)
 		}
 	}
 }
@@ -425,7 +481,7 @@ func (f *Frontend) tickLoop() {
 				})
 				f.hedgesIssued.Add(1)
 				f.backends[spare].sent.Add(1)
-				f.backends[spare].conn.Write(encode) //nolint:errcheck // fire-and-forget UDP
+				f.backends[spare].send(encode)
 			}
 		}
 	}

@@ -59,6 +59,13 @@ type Config struct {
 	// trailer on responses and counts queries the frontend answered
 	// with the help of a hedge (Result.Hedged).
 	Frontend bool
+	// Conns is how many TCP connections RunTCP opens (default 1).
+	// Ignored off the TCP path.
+	Conns int
+	// Pipeline caps concurrently outstanding requests per TCP
+	// connection (default 32); a full pipeline gates the sender, the
+	// stream transport's flow control. Ignored off the TCP path.
+	Pipeline int
 }
 
 func (c *Config) fill() error {

@@ -1,0 +1,130 @@
+package loadgen
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/psp"
+	"repro/internal/rng"
+)
+
+// RunTCP generates load against a TCP Perséphone server through the
+// pipelined client: cfg.Conns connections, each carrying up to
+// cfg.Pipeline concurrent requests matched back by RequestID in
+// whatever order the server completes them. Arrivals follow the same
+// Poisson process as RunUDP; a full pipeline briefly gates the sender
+// (the stream transport's flow control) rather than dropping sends.
+//
+// Outcome accounting matches RunInProcess: a response with a drop
+// status is retried up to MaxRetries times (fresh request IDs — TCP
+// never retransmits bytes, the stream already delivered them), then
+// recorded as Dropped; a per-request timeout sweeps the call and
+// records TimedOut.
+func RunTCP(serverAddr string, cfg Config) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	conns := cfg.Conns
+	if conns <= 0 {
+		conns = 1
+	}
+	pipeline := cfg.Pipeline
+	if pipeline <= 0 {
+		pipeline = 32
+	}
+	clients := make([]*psp.TCPClient, conns)
+	for i := range clients {
+		cli, err := psp.DialTCP(serverAddr)
+		if err != nil {
+			for _, c := range clients[:i] {
+				c.Close()
+			}
+			return nil, err
+		}
+		cli.Timeout = cfg.RequestTimeout
+		clients[i] = cli
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	r := rng.New(cfg.Seed)
+	jitterRNG := r.Split()
+	res := newResult(len(cfg.Mix.Types))
+	var mu sync.Mutex // guards the histograms and jitterRNG
+	var wg sync.WaitGroup
+	var sent, received, dropped, timedOut, retries atomic.Uint64
+	sems := make([]chan struct{}, conns)
+	for i := range sems {
+		sems[i] = make(chan struct{}, pipeline)
+	}
+
+	start := time.Now()
+	next := start
+	var lane uint64
+	for time.Since(start) < cfg.Duration {
+		gap := time.Duration(r.Exp(1/cfg.Rate) * float64(time.Second))
+		next = next.Add(gap)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		typ := pickType(cfg.Mix, r)
+		payload := cfg.BuildPayload(typ)
+		li := int(lane % uint64(conns))
+		lane++
+		sems[li] <- struct{}{} // pipeline cap: stream flow control
+		sent.Add(1)
+		wg.Add(1)
+		go func(li, typ int, payload []byte, t0 time.Time) {
+			defer wg.Done()
+			defer func() { <-sems[li] }()
+			attempt := 0
+			for {
+				resp, err := clients[li].Call(payload)
+				switch {
+				case errors.Is(err, psp.ErrCallTimeout):
+					timedOut.Add(1)
+					return
+				case err != nil:
+					// Connection died with the call in flight: the request
+					// never received a response.
+					timedOut.Add(1)
+					return
+				case resp.Status != 0:
+					// Shed by flow control: back off and reissue, up to
+					// the retry budget.
+					if attempt >= cfg.MaxRetries {
+						dropped.Add(1)
+						return
+					}
+					attempt++
+					retries.Add(1)
+					mu.Lock()
+					j := jitterRNG.Float64()
+					mu.Unlock()
+					time.Sleep(cfg.backoffFor(attempt, j))
+					continue
+				}
+				lat := time.Since(t0)
+				received.Add(1)
+				mu.Lock()
+				res.Latency[typ].RecordDuration(lat)
+				res.Overall.RecordDuration(lat)
+				mu.Unlock()
+				return
+			}
+		}(li, typ, payload, time.Now())
+	}
+	waitTimeout(&wg, cfg.Timeout)
+	res.Sent = sent.Load()
+	res.Received = received.Load()
+	res.Dropped = dropped.Load()
+	res.TimedOut = timedOut.Load()
+	res.Retries = retries.Load()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -51,6 +51,10 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 		fmt.Fprintf(&b, "persephone_slowdown_p999{type=%q} %g\n", name, row.Slowdown999)
 	}
 
+	if t := s.tcpSrv.Load(); t != nil {
+		writeTCPMetrics(&b, t)
+	}
+
 	b.WriteString("# HELP persephone_trace_spans_total Lifecycle spans drained from worker trace rings.\n")
 	b.WriteString("# TYPE persephone_trace_spans_total counter\n")
 	fmt.Fprintf(&b, "persephone_trace_spans_total %d\n", st.TraceSpans)
@@ -79,6 +83,51 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// attachTCP binds the TCP transport to the server's metrics
+// exposition (called by ListenTCPShards).
+func (s *Server) attachTCP(t *TCPServer) { s.tcpSrv.Store(t) }
+
+// writeTCPMetrics renders the persephone_tcp_* families, mirroring the
+// UDP transport counter set plus connection lifecycle and the
+// pipeline-depth histogram.
+func writeTCPMetrics(b *strings.Builder, t *TCPServer) {
+	b.WriteString("# HELP persephone_tcp_rx_total Frames accepted into the pipeline over TCP.\n")
+	b.WriteString("# TYPE persephone_tcp_rx_total counter\n")
+	fmt.Fprintf(b, "persephone_tcp_rx_total %d\n", t.Received())
+	b.WriteString("# HELP persephone_tcp_rx_drops_total Malformed frames and ingress-ring overflow drops.\n")
+	b.WriteString("# TYPE persephone_tcp_rx_drops_total counter\n")
+	fmt.Fprintf(b, "persephone_tcp_rx_drops_total %d\n", t.RxDrops())
+	b.WriteString("# HELP persephone_tcp_rx_sheds_total Frames answered StatusDropped under buffer-pool exhaustion.\n")
+	b.WriteString("# TYPE persephone_tcp_rx_sheds_total counter\n")
+	fmt.Fprintf(b, "persephone_tcp_rx_sheds_total %d\n", t.RxSheds())
+	b.WriteString("# HELP persephone_tcp_tx_inline_total Responses written inline because a connection TX ring was full.\n")
+	b.WriteString("# TYPE persephone_tcp_tx_inline_total counter\n")
+	fmt.Fprintf(b, "persephone_tcp_tx_inline_total %d\n", t.TxRingFull())
+	b.WriteString("# HELP persephone_tcp_conns_accepted_total Connections admitted since start.\n")
+	b.WriteString("# TYPE persephone_tcp_conns_accepted_total counter\n")
+	fmt.Fprintf(b, "persephone_tcp_conns_accepted_total %d\n", t.ConnsAccepted())
+	b.WriteString("# HELP persephone_tcp_conns_open Currently open connections.\n")
+	b.WriteString("# TYPE persephone_tcp_conns_open gauge\n")
+	fmt.Fprintf(b, "persephone_tcp_conns_open %d\n", t.ConnsOpen())
+	b.WriteString("# HELP persephone_tcp_conns_evicted_total Connections closed by the server (idle timeout, protocol error).\n")
+	b.WriteString("# TYPE persephone_tcp_conns_evicted_total counter\n")
+	fmt.Fprintf(b, "persephone_tcp_conns_evicted_total %d\n", t.ConnsEvicted())
+	b.WriteString("# HELP persephone_tcp_conns_rejected_total Connections shed at admission by the MaxConns cap.\n")
+	b.WriteString("# TYPE persephone_tcp_conns_rejected_total counter\n")
+	fmt.Fprintf(b, "persephone_tcp_conns_rejected_total %d\n", t.ConnsRejected())
+	b.WriteString("# HELP persephone_tcp_pipeline_depth In-flight responses per connection, sampled as each request is accepted.\n")
+	b.WriteString("# TYPE persephone_tcp_pipeline_depth histogram\n")
+	var cum uint64
+	for i, le := range tcpDepthBuckets {
+		cum += t.depthBuckets[i].Load()
+		fmt.Fprintf(b, "persephone_tcp_pipeline_depth_bucket{le=\"%d\"} %d\n", le, cum)
+	}
+	cum += t.depthBuckets[len(tcpDepthBuckets)].Load()
+	fmt.Fprintf(b, "persephone_tcp_pipeline_depth_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(b, "persephone_tcp_pipeline_depth_sum %d\n", t.depthSum.Load())
+	fmt.Fprintf(b, "persephone_tcp_pipeline_depth_count %d\n", t.depthCount.Load())
 }
 
 func sanitizeLabel(s string) string {

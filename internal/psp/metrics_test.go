@@ -103,11 +103,11 @@ func TestHealthzAfterStop(t *testing.T) {
 func TestSanitizeLabel(t *testing.T) {
 	cases := map[string]string{
 		`we"ird la/bel`:   "we_ird_la_bel",
-		"line\nbreak":     "line_break",     // newline would corrupt the exposition format
-		`esc\ape"quote`:   "esc_ape_quote",  // backslash and quote need no escaping once mapped
-		"ünïcode":         "_n_code",        // non-ASCII runes collapse to underscores
-		"":                "",               // empty stays empty
-		"ok_name-1":       "ok_name-1",      // allowed characters pass through
+		"line\nbreak":     "line_break",    // newline would corrupt the exposition format
+		`esc\ape"quote`:   "esc_ape_quote", // backslash and quote need no escaping once mapped
+		"ünïcode":         "_n_code",       // non-ASCII runes collapse to underscores
+		"":                "",              // empty stays empty
+		"ok_name-1":       "ok_name-1",     // allowed characters pass through
 		"tab\theader\r\n": "tab_header__",
 	}
 	for in, want := range cases {
@@ -164,6 +164,24 @@ func TestWriteMetricsGolden(t *testing.T) {
 		}
 	}
 	srv.traceLost.Add(1)
+
+	// Hand-plant the TCP transport families: two shards' ingress
+	// counters, connection lifecycle, and pipeline-depth samples at
+	// depth 1 (x2), 16 (x3), and one past the last bucket (+Inf).
+	ts := &TCPServer{Server: srv, shards: []*tcpShard{{}, {}}}
+	ts.shards[0].rx.Store(40)
+	ts.shards[1].rx.Store(2)
+	ts.shards[0].rxDrops.Store(3)
+	ts.shards[0].rxSheds.Store(2)
+	ts.shards[1].txFull.Store(1)
+	ts.connsAccepted.Store(5)
+	ts.connsOpen.Store(2)
+	ts.connsEvicted.Store(1)
+	ts.connsRejected.Store(4)
+	ts.recordDepth(1, 2)
+	ts.recordDepth(16, 3)
+	ts.recordDepth(500, 1)
+	srv.attachTCP(ts)
 
 	var buf bytes.Buffer
 	if err := srv.WriteMetrics(&buf); err != nil {

@@ -165,10 +165,14 @@ type Server struct {
 	stopped atomic.Bool
 	wg      sync.WaitGroup
 
-	inj          *faults.Injector
-	restarts     atomic.Uint64
-	retriesSeen  atomic.Uint64
+	inj           *faults.Injector
+	restarts      atomic.Uint64
+	retriesSeen   atomic.Uint64
 	resvHoldUntil time.Duration // dispatcher-only: pending delayed update
+
+	// tcpSrv is the TCP transport bound to this server (if any); the
+	// metrics exposition pulls the persephone_tcp_* families from it.
+	tcpSrv atomic.Pointer[TCPServer]
 
 	mu         sync.Mutex
 	rec        *metrics.Recorder
@@ -180,11 +184,11 @@ type Server struct {
 	// into its own fixed-capacity SPSC ring; the stats path drains them
 	// under traceMu into per-type histograms (and the optional sink),
 	// so the hot path never allocates or takes a lock for tracing.
-	traceRings []*spsc.Ring[trace.Span]
-	traceLost  atomic.Uint64
-	traceMu    sync.Mutex
-	traceSink  func(trace.Span)
-	spanCount  uint64
+	traceRings  []*spsc.Ring[trace.Span]
+	traceLost   atomic.Uint64
+	traceMu     sync.Mutex
+	traceSink   func(trace.Span)
+	spanCount   uint64
 	queueDelayH []metrics.Histogram // per type, last entry = unknown
 	serviceH    []metrics.Histogram
 	slowdownH   []metrics.Histogram // scaled by metrics.SlowdownScale
@@ -440,11 +444,15 @@ func (s *Server) dispatcherLoop() {
 		idleSpins++
 		switch {
 		case idleSpins < 64:
-		case idleSpins < 4096:
+		case idleSpins < 192:
 			runtime.Gosched()
 		default:
 			// A real Perséphone busy-polls a dedicated core; on an
 			// oversubscribed host we park briefly once clearly idle.
+			// The yield window above is deliberately short: each
+			// Gosched is a full scheduler pass, and with more
+			// goroutines than cores a long yield storm here steals
+			// the CPU from the producers the dispatcher is waiting on.
 			time.Sleep(20 * time.Microsecond)
 		}
 	}
@@ -751,7 +759,7 @@ type Stats struct {
 	// TraceLost counts spans dropped because a worker's trace ring was
 	// full between drains.
 	TraceLost uint64
-	Summaries  []metrics.Summary
+	Summaries []metrics.Summary
 }
 
 // StatsSnapshot copies the current counters and per-type summaries,

@@ -3,260 +3,804 @@ package psp
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/proto"
+	"repro/internal/spsc"
 )
 
-// TCPServer exposes a Server over TCP — the stateful-dispatcher
-// deployment the paper's §6 sketches. Each message is a 4-byte
+// The TCP datapath at parity with the sharded UDP path (§4.3.1's
+// amortized packet path, on a byte stream): every message is a 4-byte
 // little-endian length prefix followed by the usual header+payload
-// frame; responses are written back on the originating connection
-// (serialized per connection, since multiple workers may complete
-// requests from one client concurrently).
-type TCPServer struct {
-	Server *Server
-	ln     net.Listener
-	wg     sync.WaitGroup
-	closed atomic.Bool
+// frame, many requests ride in flight per connection (pipelining), and
+// responses go back out-of-order as they complete, matched by the
+// echoed header RequestID (plus the echoed correlation trailer for
+// fan-out sub-requests).
+//
+//   - Ingress: per-connection readers decode *bursts* of frames into
+//     pooled buffers and hand each burst to the dispatcher in a single
+//     ring synchronization (injectBatch -> MPSC.TryPutBatch, one CAS).
+//   - Egress: workers encode responses into the request's own ingress
+//     buffer (zero-copy) and push the frame onto the connection's TX
+//     ring; a per-connection TX goroutine drains the ring in batches
+//     and lands each batch with a single vectored write (net.Buffers).
+//     A full ring falls back to an inline write, never a blocked worker.
+//   - Lifecycle: the accept path is sharded across Shards listeners
+//     (SO_REUSEPORT on unix; a shared-listener fallback elsewhere),
+//     admission is capped by MaxConns, idle connections are evicted
+//     after IdleTimeout, and Close drains gracefully: every request
+//     already accepted into the pipeline is answered and flushed
+//     before the sockets die.
 
-	rx      atomic.Uint64
-	rxDrops atomic.Uint64
-}
-
-// maxTCPFrame bounds a single framed message (header + payload).
+// maxTCPFrame bounds a single framed message (header + payload +
+// trailers), excluding the length prefix.
 const maxTCPFrame = 1 << 16
 
-// ListenTCP binds addr and starts accepting connections on top of an
-// already-configured (not yet started) Server.
-func ListenTCP(addr string, srv *Server) (*TCPServer, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("psp: listen tcp %q: %w", addr, err)
+// tcpLenPrefixSize is the frame length prefix the stream transport
+// puts in front of every proto message.
+const tcpLenPrefixSize = 4
+
+// tcpBufPayload is the largest request payload a pooled buffer
+// accepts; larger (but still legal) frames enter the pipeline with a
+// copied payload instead. The pooled buffer carries headroom for the
+// length prefix, the response trailers, and an echoed correlation
+// trailer, so the ingress bytes can be reused as the egress frame.
+const tcpBufPayload = 2048
+
+// tcpBufSize is the pooled buffer capacity: prefix + header + payload
+// + timing trailer + correlation trailer.
+const tcpBufSize = tcpLenPrefixSize + proto.HeaderSize + tcpBufPayload + proto.TimingSize + proto.CorrelationSize
+
+// tcpTxBatch caps how many queued frames one TX wakeup gathers into a
+// single writev.
+const tcpTxBatch = 64
+
+// tcpDepthBuckets are the pipeline-depth histogram upper bounds
+// (powers of two; a final implicit bucket catches the rest).
+var tcpDepthBuckets = [...]uint64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// TCPOptions tunes the pipelined TCP datapath. The zero value means
+// one accept shard, 32-frame bursts, 4096 pooled buffers per shard, a
+// 256-frame TX ring per connection, unlimited connections, and no
+// idle eviction.
+type TCPOptions struct {
+	// Shards is the number of accept shards. On unix every shard gets
+	// its own SO_REUSEPORT listener on the same address and the kernel
+	// spreads incoming connections across them; elsewhere the shards
+	// share one listener and split the accept work. Each shard owns a
+	// buffer pool, so a connection's buffers never cross shards.
+	Shards int
+	// Burst caps how many already-buffered frames one reader wakeup
+	// decodes before the batch goes to the dispatcher.
+	Burst int
+	// PoolSize is the number of pooled ingress buffers per shard.
+	PoolSize int
+	// TXRing is the per-connection egress ring capacity (frames).
+	TXRing int
+	// MaxConns caps concurrently open connections across all shards;
+	// excess accepts are closed immediately and counted in
+	// ConnsRejected. 0 means unlimited.
+	MaxConns int
+	// IdleTimeout evicts a connection that has neither delivered a
+	// byte nor had a response in flight for this long. 0 disables
+	// idle eviction.
+	IdleTimeout time.Duration
+}
+
+func (o *TCPOptions) fill() {
+	if o.Shards <= 0 {
+		o.Shards = 1
 	}
-	t := &TCPServer{Server: srv, ln: ln}
+	if o.Burst <= 0 {
+		o.Burst = 32
+	}
+	if o.PoolSize <= 0 {
+		o.PoolSize = 4096
+	}
+	if o.TXRing <= 0 {
+		o.TXRing = 256
+	}
+}
+
+// TCPServer exposes a Server over TCP — the stateful-dispatcher
+// deployment the paper's §6 sketches — with the same batched, pooled,
+// sharded datapath as the UDP transport.
+type TCPServer struct {
+	Server *Server
+	opts   TCPOptions
+	lns    []net.Listener
+	shards []*tcpShard
+
+	connMu sync.Mutex
+	conns  map[*tcpConn]struct{}
+
+	acceptWG sync.WaitGroup
+	readWG   sync.WaitGroup
+	txWG     sync.WaitGroup
+	closed   atomic.Bool
+
+	connsAccepted atomic.Uint64
+	connsOpen     atomic.Int64
+	connsEvicted  atomic.Uint64
+	connsRejected atomic.Uint64
+
+	// Pipeline-depth histogram: how many responses were outstanding on
+	// the connection when each request was accepted. depthBuckets[i]
+	// counts samples <= tcpDepthBuckets[i]; the last slot is +Inf.
+	depthBuckets [len(tcpDepthBuckets) + 1]atomic.Uint64
+	depthSum     atomic.Uint64
+	depthCount   atomic.Uint64
+}
+
+// tcpShard is one accept lane: a listener's worth of connections
+// sharing a buffer pool and ingress counters.
+type tcpShard struct {
+	pool *spsc.Pool
+	// poolMu guards Get: the pool's free list is single-consumer, and
+	// a shard may host several connection readers.
+	poolMu sync.Mutex
+
+	rx      atomic.Uint64
+	rxDrops atomic.Uint64 // malformed frames + ingress-ring overflow
+	rxSheds atomic.Uint64 // frames shed because the pool was exhausted
+	txFull  atomic.Uint64 // responses written inline because a TX ring was full
+}
+
+func (sh *tcpShard) getBuf() *spsc.Buffer {
+	sh.poolMu.Lock()
+	b := sh.pool.Get()
+	sh.poolMu.Unlock()
+	return b
+}
+
+// tcpTxFrame is one encoded response waiting on a connection's egress
+// ring: a pooled buffer (reused ingress buffer, the zero-copy path) or
+// an allocated message. The zero value is the shutdown sentinel.
+type tcpTxFrame struct {
+	buf *spsc.Buffer
+	msg []byte
+}
+
+// tcpConn is one accepted connection: its reader goroutine feeds the
+// dispatcher, its TX goroutine owns the socket writes.
+type tcpConn struct {
+	t    *TCPServer
+	sh   *tcpShard
+	conn net.Conn
+	tx   *spsc.MPSC[tcpTxFrame]
+	// wake signals the TX goroutine that frames are queued (capacity 1;
+	// producers kick after every put, so the TX loop can block on it
+	// without lost wakeups instead of burning the core sleep-polling).
+	wake chan struct{}
+
+	// writeMu serializes the TX goroutine's writev with inline
+	// fallback writes, so frames never interleave on the stream.
+	writeMu sync.Mutex
+
+	// pending counts responses owed on this connection: incremented
+	// when a request is accepted into the pipeline (or a shed reply is
+	// queued), decremented after the response frame reaches the
+	// socket. finish drains a connection only once this hits zero.
+	pending atomic.Int64
+
+	scratch []byte // oversized/shed frame reads; allocated on first use
+
+	closing atomic.Bool
+}
+
+// ListenTCP binds addr with a single accept shard and default options,
+// and starts the datapath on top of an already-configured (not yet
+// started) Server.
+func ListenTCP(addr string, srv *Server) (*TCPServer, error) {
+	return ListenTCPShards(addr, srv, TCPOptions{})
+}
+
+// ListenTCPShards binds opts.Shards listeners on addr and starts the
+// full pipelined datapath. On unix the listeners share the address via
+// SO_REUSEPORT and the kernel spreads incoming connections across
+// them; on other platforms a single listener is shared by opts.Shards
+// accept goroutines.
+func ListenTCPShards(addr string, srv *Server, opts TCPOptions) (*TCPServer, error) {
+	opts.fill()
+	t := &TCPServer{
+		Server: srv,
+		opts:   opts,
+		conns:  make(map[*tcpConn]struct{}),
+	}
+	for i := 0; i < opts.Shards; i++ {
+		t.shards = append(t.shards, &tcpShard{pool: spsc.NewPool(opts.PoolSize, tcpBufSize)})
+	}
+	if reusePortSupported && opts.Shards > 1 {
+		for i := 0; i < opts.Shards; i++ {
+			bind := addr
+			if i > 0 {
+				// Later shards must join the exact port the first bind
+				// resolved (addr may carry port 0).
+				bind = t.lns[0].Addr().String()
+			}
+			ln, err := reusePortListen(bind)
+			if err != nil {
+				for _, l := range t.lns {
+					l.Close()
+				}
+				return nil, fmt.Errorf("psp: listen tcp %q shard %d: %w", addr, i, err)
+			}
+			t.lns = append(t.lns, ln)
+		}
+	} else {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("psp: listen tcp %q: %w", addr, err)
+		}
+		t.lns = append(t.lns, ln)
+	}
 	srv.Start()
-	t.wg.Add(1)
-	go t.acceptLoop()
+	srv.attachTCP(t)
+	for i := 0; i < opts.Shards; i++ {
+		ln := t.lns[0]
+		if len(t.lns) > 1 {
+			ln = t.lns[i]
+		}
+		t.acceptWG.Add(1)
+		go t.acceptLoop(ln, t.shards[i])
+	}
 	return t, nil
 }
 
-// Addr reports the bound address.
-func (t *TCPServer) Addr() net.Addr { return t.ln.Addr() }
+// Addr reports the primary bound address.
+func (t *TCPServer) Addr() net.Addr { return t.lns[0].Addr() }
 
-// Received reports frames accepted into the pipeline.
-func (t *TCPServer) Received() uint64 { return t.rx.Load() }
+// Addrs reports every listener's bound address (all equal under
+// SO_REUSEPORT sharding).
+func (t *TCPServer) Addrs() []net.Addr {
+	out := make([]net.Addr, len(t.lns))
+	for i, ln := range t.lns {
+		out[i] = ln.Addr()
+	}
+	return out
+}
 
-// RxDrops reports frames rejected at ingress.
-func (t *TCPServer) RxDrops() uint64 { return t.rxDrops.Load() }
+// Shards reports the number of accept shards.
+func (t *TCPServer) Shards() int { return len(t.shards) }
 
-// Close stops accepting, closes the listener, and shuts the server
-// down. Established connections terminate as their reads fail.
+// Received reports frames accepted into the pipeline across all
+// shards.
+func (t *TCPServer) Received() uint64 {
+	var n uint64
+	for _, sh := range t.shards {
+		n += sh.rx.Load()
+	}
+	return n
+}
+
+// RxDrops reports frames rejected at ingress: malformed, or shed
+// because the ingress ring was full. Pool-exhaustion sheds (which do
+// answer the client) are counted separately in RxSheds.
+func (t *TCPServer) RxDrops() uint64 {
+	var n uint64
+	for _, sh := range t.shards {
+		n += sh.rxDrops.Load()
+	}
+	return n
+}
+
+// RxSheds reports frames answered StatusDropped without entering the
+// pipeline because the shard's buffer pool was exhausted.
+func (t *TCPServer) RxSheds() uint64 {
+	var n uint64
+	for _, sh := range t.shards {
+		n += sh.rxSheds.Load()
+	}
+	return n
+}
+
+// TxRingFull reports responses that bypassed a TX ring (written inline
+// by the completing worker) because the ring was full.
+func (t *TCPServer) TxRingFull() uint64 {
+	var n uint64
+	for _, sh := range t.shards {
+		n += sh.txFull.Load()
+	}
+	return n
+}
+
+// ConnsAccepted reports connections admitted since start.
+func (t *TCPServer) ConnsAccepted() uint64 { return t.connsAccepted.Load() }
+
+// ConnsOpen reports currently open connections.
+func (t *TCPServer) ConnsOpen() int64 { return t.connsOpen.Load() }
+
+// ConnsEvicted reports connections closed by the server (idle timeout
+// or protocol error).
+func (t *TCPServer) ConnsEvicted() uint64 { return t.connsEvicted.Load() }
+
+// ConnsRejected reports connections shed at admission because MaxConns
+// was reached.
+func (t *TCPServer) ConnsRejected() uint64 { return t.connsRejected.Load() }
+
+// poolOutstanding reports checked-out pooled buffers across shards
+// (leak diagnostics for tests).
+func (t *TCPServer) poolOutstanding() int64 {
+	var n int64
+	for _, sh := range t.shards {
+		n += sh.pool.Outstanding()
+	}
+	return n
+}
+
+// Close stops accepting, drains gracefully — every request already
+// accepted into the pipeline is answered and its response flushed to
+// the wire — then closes the connections and stops the server.
 func (t *TCPServer) Close() error {
 	if t.closed.Swap(true) {
 		return nil
 	}
-	err := t.ln.Close()
-	t.wg.Wait()
+	var err error
+	for _, ln := range t.lns {
+		if e := ln.Close(); e != nil && err == nil {
+			err = e
+		}
+	}
+	t.acceptWG.Wait()
+	// Wake blocked readers; they observe closed and stop taking new
+	// frames. Re-arm the wakeup until every reader is out, in case a
+	// reader re-set its idle deadline concurrently with ours.
+	readersDone := make(chan struct{})
+	go func() {
+		t.readWG.Wait()
+		close(readersDone)
+	}()
+	for done := false; !done; {
+		t.connMu.Lock()
+		for c := range t.conns {
+			c.conn.SetReadDeadline(time.Now()) //nolint:errcheck
+		}
+		t.connMu.Unlock()
+		select {
+		case <-readersDone:
+			done = true
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	// No reader remains, so no new requests arrive: Stop settles
+	// everything in flight (queued requests answer StatusDropped)
+	// through the respond path, which lands frames on the TX rings.
 	t.Server.Stop()
+	t.connMu.Lock()
+	conns := make([]*tcpConn, 0, len(t.conns))
+	for c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.connMu.Unlock()
+	for _, c := range conns {
+		c.finish(false)
+	}
+	t.txWG.Wait()
 	return err
 }
 
-func (t *TCPServer) acceptLoop() {
-	defer t.wg.Done()
+// acceptLoop admits connections on one shard's listener.
+func (t *TCPServer) acceptLoop(ln net.Listener, sh *tcpShard) {
+	defer t.acceptWG.Done()
 	for {
-		conn, err := t.ln.Accept()
+		conn, err := ln.Accept()
 		if err != nil {
-			return
+			return // listener closed
 		}
-		t.wg.Add(1)
-		go t.serveConn(conn)
+		if max := t.opts.MaxConns; max > 0 && t.connsOpen.Load() >= int64(max) {
+			t.connsRejected.Add(1)
+			conn.Close()
+			continue
+		}
+		c := &tcpConn{t: t, sh: sh, conn: conn, tx: spsc.NewMPSC[tcpTxFrame](t.opts.TXRing), wake: make(chan struct{}, 1)}
+		t.connMu.Lock()
+		if t.closed.Load() {
+			// Raced with Close: a fresh connection must not slip past
+			// the drain.
+			t.connMu.Unlock()
+			conn.Close()
+			continue
+		}
+		t.conns[c] = struct{}{}
+		t.connMu.Unlock()
+		t.connsAccepted.Add(1)
+		t.connsOpen.Add(1)
+		t.readWG.Add(1)
+		go c.readLoop()
+		t.txWG.Add(1)
+		go c.txLoop()
 	}
 }
 
-// serveConn is this connection's net worker: it frames requests into
-// the shared dispatcher pipeline.
-func (t *TCPServer) serveConn(conn net.Conn) {
-	defer t.wg.Done()
-	defer conn.Close()
-	var writeMu sync.Mutex // serializes worker responses on this conn
-	r := bufio.NewReaderSize(conn, 1<<16)
-	var lenBuf [4]byte
+// finish completes a connection's lifecycle exactly once: wait for
+// every owed response to reach the wire, stop the TX goroutine (which
+// closes the socket), and unregister. evicted marks server-initiated
+// closes (idle timeout, protocol error) for the eviction counter.
+func (c *tcpConn) finish(evicted bool) {
+	if c.closing.Swap(true) {
+		return
+	}
+	// Responses still owed drain through the TX loop: while the server
+	// runs, every accepted request settles (worker completion or drop),
+	// and during Close the server has already stopped and settled, so
+	// pending strictly decreases to zero.
+	for spins := 0; c.pending.Load() > 0; spins++ {
+		if spins < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+	for !c.tx.TryPut(tcpTxFrame{}) {
+		runtime.Gosched()
+	}
+	c.kick()
+	if evicted && !c.t.closed.Load() {
+		c.t.connsEvicted.Add(1)
+	}
+	c.t.connMu.Lock()
+	delete(c.t.conns, c)
+	c.t.connMu.Unlock()
+	c.t.connsOpen.Add(-1)
+}
+
+// readLoop is this connection's net worker: it decodes pipelined
+// frames — bursts of them when the stream runs ahead — and hands each
+// burst to the dispatcher in one ring synchronization.
+func (c *tcpConn) readLoop() {
+	defer c.t.readWG.Done()
+	t := c.t
+	rd := bufio.NewReaderSize(c.conn, 1<<16)
+	var lenBuf [tcpLenPrefixSize]byte
+	batch := make([]*Request, 0, t.opts.Burst)
 	for {
 		if t.closed.Load() {
+			return // drain: Close owns the rest of the lifecycle
+		}
+		if idle := t.opts.IdleTimeout; idle > 0 {
+			c.conn.SetReadDeadline(time.Now().Add(idle)) //nolint:errcheck
+		}
+		// Blocking read of the next frame's length prefix.
+		n, err := io.ReadFull(rd, lenBuf[:])
+		if err != nil {
+			if t.closed.Load() {
+				return
+			}
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				if n == 0 && c.pending.Load() > 0 {
+					// Responses still owed: not idle, keep serving.
+					continue
+				}
+				go c.finish(true) // idle (or mid-prefix stall): evict
+				return
+			}
+			go c.finish(false) // peer closed or reset
 			return
 		}
-		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-			return
-		}
+		batch = batch[:0]
 		frameLen := binary.LittleEndian.Uint32(lenBuf[:])
-		if frameLen < proto.HeaderSize || frameLen > maxTCPFrame {
-			t.rxDrops.Add(1)
-			return // protocol error: drop the connection
-		}
-		frame := make([]byte, frameLen)
-		if _, err := io.ReadFull(r, frame); err != nil {
+		if !c.readFrame(rd, frameLen, &batch) {
+			c.injectBatch(batch)
+			go c.finish(true) // invalid frame or broken stream
 			return
 		}
-		hdr, payload, perr := proto.DecodeHeader(frame)
-		if perr != nil || hdr.Kind != proto.KindRequest {
-			t.rxDrops.Add(1)
-			continue
-		}
-		// Retry attempts ride in the request status byte (see proto).
-		if hdr.Status != 0 {
-			t.Server.noteRetry()
-		}
-		// Chaos layer: drop the frame as if the message never arrived.
-		if t.Server.inj.IngressDrop() {
-			continue
-		}
-		reqID := hdr.RequestID
-		req := &Request{payload: payload}
-		req.respond = func(resp Response) {
-			// resp.Payload aliases the worker's scratch; the frame is
-			// fully serialized before this callback returns.
-			msg := proto.AppendResponse(make([]byte, 4, 4+proto.ResponseOverhead+len(resp.Payload)), proto.Header{
-				Status:    resp.Status,
-				TypeID:    uint16(resp.Type & 0xFFFF),
-				RequestID: reqID,
-			}, resp.Payload, proto.Timing{Queue: resp.QueueDelay, Service: resp.Service})
-			binary.LittleEndian.PutUint32(msg[:4], uint32(len(msg)-4))
-			writeMu.Lock()
-			conn.Write(msg) //nolint:errcheck // client may have gone
-			writeMu.Unlock()
-		}
-		if !t.Server.inject(req) {
-			t.rxDrops.Add(1)
-			continue
-		}
-		t.rx.Add(1)
-		// Chaos layer: duplicated delivery of the same frame.
-		if t.Server.inj.IngressDup() {
-			dup := &Request{
-				payload: append([]byte(nil), payload...),
-				respond: req.respond,
+		// Opportunistic burst: decode whatever additional complete
+		// frames the stream already buffered, without blocking.
+		for len(batch) < cap(batch) {
+			if rd.Buffered() < tcpLenPrefixSize {
+				break
 			}
-			if t.Server.inject(dup) {
-				t.rx.Add(1)
+			p, _ := rd.Peek(tcpLenPrefixSize)
+			next := binary.LittleEndian.Uint32(p)
+			if next < proto.HeaderSize || next > maxTCPFrame {
+				c.injectBatch(batch)
+				c.sh.rxDrops.Add(1)
+				go c.finish(true)
+				return
+			}
+			if rd.Buffered() < tcpLenPrefixSize+int(next) {
+				break
+			}
+			rd.Discard(tcpLenPrefixSize) //nolint:errcheck // fully buffered
+			if !c.readFrame(rd, next, &batch) {
+				c.injectBatch(batch)
+				go c.finish(true)
+				return
 			}
 		}
+		c.injectBatch(batch)
 	}
 }
 
-// TCPClient is a minimal synchronous client for the TCP transport,
-// used by tests and examples. It is safe for concurrent Calls.
-type TCPClient struct {
-	conn net.Conn
-	mu   sync.Mutex // guards writes and the pending map
-	rd   *bufio.Reader
-	rdMu sync.Mutex
-	next atomic.Uint64
-
-	pending map[uint64]chan Response
+// readFrame consumes one frame body of frameLen bytes and appends the
+// decoded request (if any) to batch. It reports false when the
+// connection must go away (invalid length or broken stream);
+// individually malformed but correctly framed messages are skipped
+// without killing the connection.
+func (c *tcpConn) readFrame(rd *bufio.Reader, frameLen uint32, batch *[]*Request) bool {
+	sh := c.sh
+	if frameLen < proto.HeaderSize || frameLen > maxTCPFrame {
+		sh.rxDrops.Add(1)
+		return false
+	}
+	// Reading at the prefix offset keeps the buffer layout identical
+	// to the egress frame the responder later builds in place.
+	pooled := tcpLenPrefixSize+int(frameLen) <= tcpBufSize
+	var frame []byte
+	var buf *spsc.Buffer
+	if pooled {
+		if buf = sh.getBuf(); buf != nil {
+			frame = buf.Data[tcpLenPrefixSize : tcpLenPrefixSize+int(frameLen)]
+		}
+	}
+	if frame == nil {
+		// Pool exhausted, or the frame outgrows a pooled buffer: read
+		// through connection-local scratch.
+		if c.scratch == nil {
+			c.scratch = make([]byte, maxTCPFrame)
+		}
+		frame = c.scratch[:frameLen]
+	}
+	if _, err := io.ReadFull(rd, frame); err != nil {
+		if buf != nil {
+			buf.Release()
+		}
+		return false
+	}
+	hdr, payload, perr := proto.DecodeHeader(frame)
+	if perr != nil || hdr.Kind != proto.KindRequest {
+		if buf != nil {
+			buf.Release()
+		}
+		sh.rxDrops.Add(1)
+		return true // framing is intact: skip the message, keep the stream
+	}
+	if buf == nil && pooled {
+		// Pool exhaustion (not oversize): shed with an immediate
+		// StatusDropped so the pipelined client learns now instead of
+		// timing out — the TCP analogue of UDP's shed-read.
+		sh.rxSheds.Add(1)
+		c.shedReply(hdr)
+		return true
+	}
+	// Requests stamp their retry attempt in the header status byte
+	// (see proto); attempt > 0 is a client retransmission.
+	if hdr.Status != 0 {
+		c.t.Server.noteRetry()
+	}
+	// Chaos layer: the frame may vanish here, as if lost before the
+	// net worker ever saw it.
+	if c.t.Server.inj.IngressDrop() {
+		if buf != nil {
+			buf.Release()
+		}
+		return true
+	}
+	// A fan-out frontend tags sub-requests with a correlation trailer;
+	// capture it by value so the responder can echo it after the
+	// ingress buffer is overwritten by the response.
+	corr, hasCorr := proto.DecodeCorrelation(frame, hdr)
+	req := &Request{payload: payload, buf: buf}
+	if buf == nil {
+		// Oversized frame read via scratch: the payload must survive
+		// past this read-loop iteration.
+		req.payload = append([]byte(nil), payload...)
+	}
+	req.respond = c.responder(req, hdr.RequestID, corr, hasCorr)
+	*batch = append(*batch, req)
+	// Chaos layer: duplicated delivery of the same frame. The copy owns
+	// its payload and has no ingress buffer, so its response takes the
+	// allocating fallback and cannot race the original for the buffer.
+	if c.t.Server.inj.IngressDup() {
+		dup := &Request{payload: append([]byte(nil), payload...)}
+		dup.respond = c.responder(dup, hdr.RequestID, corr, hasCorr)
+		*batch = append(*batch, dup)
+	}
+	return true
 }
 
-// DialTCP connects to a TCPServer.
-func DialTCP(addr string) (*TCPClient, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
+// injectBatch hands a burst of decoded requests to the dispatcher in
+// one ring synchronization and settles the accounting: accepted
+// requests owe a response (pending), the rejected tail is shed.
+func (c *tcpConn) injectBatch(batch []*Request) {
+	if len(batch) == 0 {
+		return
 	}
-	c := &TCPClient{
-		conn:    conn,
-		rd:      bufio.NewReaderSize(conn, 1<<16),
-		pending: make(map[uint64]chan Response),
+	accepted := c.t.Server.injectBatch(batch)
+	c.sh.rx.Add(uint64(accepted))
+	if accepted > 0 {
+		depth := uint64(c.pending.Add(int64(accepted)))
+		c.t.recordDepth(depth, accepted)
 	}
-	go c.readLoop()
-	return c, nil
+	for _, r := range batch[accepted:] {
+		// Ingress ring full: shed the tail of the burst.
+		if r.buf != nil {
+			r.buf.Release()
+		}
+		c.sh.rxDrops.Add(1)
+	}
 }
 
-// Close releases the connection; outstanding Calls fail.
-func (c *TCPClient) Close() error {
-	err := c.conn.Close()
-	c.mu.Lock()
-	for id, ch := range c.pending {
-		close(ch)
-		delete(c.pending, id)
+// recordDepth samples the pipeline-depth histogram: n requests were
+// accepted while depth responses were outstanding on the connection
+// (one sample per request, valued at the post-burst depth).
+func (t *TCPServer) recordDepth(depth uint64, n int) {
+	i := 0
+	for i < len(tcpDepthBuckets) && depth > tcpDepthBuckets[i] {
+		i++
 	}
-	c.mu.Unlock()
-	return err
+	t.depthBuckets[i].Add(uint64(n))
+	t.depthSum.Add(depth * uint64(n))
+	t.depthCount.Add(uint64(n))
 }
 
-// Call sends a request payload and waits for its response.
-func (c *TCPClient) Call(payload []byte) (Response, error) {
-	id := c.next.Add(1)
-	ch := make(chan Response, 1)
-	c.mu.Lock()
-	c.pending[id] = ch
-	msg := proto.AppendMessage(make([]byte, 4, 4+proto.HeaderSize+len(payload)), proto.Header{
-		Kind:      proto.KindRequest,
-		RequestID: id,
-	}, payload)
-	binary.LittleEndian.PutUint32(msg[:4], uint32(len(msg)-4))
-	_, err := c.conn.Write(msg)
-	c.mu.Unlock()
-	if err != nil {
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
-		return Response{}, err
+// shedReply answers a request that never entered the pipeline with
+// StatusDropped, through the normal TX path.
+func (c *tcpConn) shedReply(hdr proto.Header) {
+	msg := proto.AppendResponse(make([]byte, tcpLenPrefixSize, tcpLenPrefixSize+proto.ResponseOverhead), proto.Header{
+		Status:    proto.StatusDropped,
+		TypeID:    hdr.TypeID,
+		RequestID: hdr.RequestID,
+	}, nil, proto.Timing{})
+	binary.LittleEndian.PutUint32(msg[:tcpLenPrefixSize], uint32(len(msg)-tcpLenPrefixSize))
+	c.pending.Add(1)
+	if c.tx.TryPut(tcpTxFrame{msg: msg}) {
+		c.kick()
+		return
 	}
-	resp, ok := <-ch
-	if !ok {
-		return Response{}, fmt.Errorf("psp: connection closed")
-	}
-	return resp, nil
+	c.sh.txFull.Add(1)
+	c.writeInline(msg)
+	c.pending.Add(-1)
 }
 
-func (c *TCPClient) readLoop() {
-	var lenBuf [4]byte
+// kick wakes the TX goroutine (non-blocking; a pending kick already
+// covers us).
+func (c *tcpConn) kick() {
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+}
+
+// responder builds the respond callback for one request: encode the
+// length-prefixed response into the request's own ingress buffer
+// (zero-copy) and push it onto the connection's TX ring. Requests
+// without a reusable buffer (chaos duplicates, oversized frames or
+// responses) fall back to a one-off allocation. Requests that arrived
+// with a correlation trailer (fan-out sub-requests) get it echoed
+// after the timing trailer, exactly like the UDP responder.
+func (c *tcpConn) responder(req *Request, reqID uint64, corr proto.Correlation, hasCorr bool) func(Response) {
+	return func(resp Response) {
+		hdr := proto.Header{
+			Status:    resp.Status,
+			TypeID:    uint16(resp.Type & 0xFFFF),
+			RequestID: reqID,
+		}
+		tm := proto.Timing{Queue: resp.QueueDelay, Service: resp.Service}
+		need := tcpLenPrefixSize + proto.ResponseOverhead + len(resp.Payload)
+		if hasCorr {
+			need += proto.CorrelationSize
+		}
+		var frame tcpTxFrame
+		if b := req.buf; b != nil && cap(b.Data) >= need {
+			// Take ownership of the ingress buffer: the settling
+			// goroutine skips its release, and the TX loop returns the
+			// buffer to the pool once the frame is on the wire.
+			req.buf = nil
+			msg := proto.AppendResponse(b.Data[:tcpLenPrefixSize], hdr, resp.Payload, tm)
+			if hasCorr {
+				msg = proto.AppendCorrelation(msg, corr)
+			}
+			binary.LittleEndian.PutUint32(msg[:tcpLenPrefixSize], uint32(len(msg)-tcpLenPrefixSize))
+			b.Len = len(msg)
+			frame = tcpTxFrame{buf: b}
+		} else {
+			msg := proto.AppendResponse(make([]byte, tcpLenPrefixSize, need), hdr, resp.Payload, tm)
+			if hasCorr {
+				msg = proto.AppendCorrelation(msg, corr)
+			}
+			binary.LittleEndian.PutUint32(msg[:tcpLenPrefixSize], uint32(len(msg)-tcpLenPrefixSize))
+			frame = tcpTxFrame{msg: msg}
+		}
+		if c.tx.TryPut(frame) {
+			c.kick()
+			return
+		}
+		// TX ring full: transmit inline rather than block a worker.
+		c.sh.txFull.Add(1)
+		if frame.buf != nil {
+			c.writeInline(frame.buf.Bytes())
+			frame.buf.Release()
+		} else {
+			c.writeInline(frame.msg)
+		}
+		c.pending.Add(-1)
+	}
+}
+
+// writeInline transmits one frame under the connection's write lock
+// (the fallback path when the TX ring is full).
+func (c *tcpConn) writeInline(msg []byte) {
+	c.writeMu.Lock()
+	c.conn.Write(msg) //nolint:errcheck // client may have gone
+	c.writeMu.Unlock()
+}
+
+// txLoop owns the connection's socket writes: it gathers queued frames
+// — many per wakeup once responses pile up — and lands the batch with
+// a single vectored write, then recycles the pooled buffers. When the
+// ring runs dry it parks on the wake channel (producers kick after
+// every put), so an idle connection costs no CPU and a completing
+// worker hands its frame over with one goroutine wakeup. A zero-value
+// sentinel (pushed by finish once pending drains) terminates the loop
+// after the backlog is out, closing the socket.
+func (c *tcpConn) txLoop() {
+	defer c.t.txWG.Done()
+	frames := make([]tcpTxFrame, 0, tcpTxBatch)
+	vecs := make(net.Buffers, 0, tcpTxBatch)
 	for {
-		c.rdMu.Lock()
-		if _, err := io.ReadFull(c.rd, lenBuf[:]); err != nil {
-			c.rdMu.Unlock()
-			c.Close() //nolint:errcheck
-			return
+		frames = frames[:0]
+		for len(frames) < tcpTxBatch {
+			f, ok := c.tx.TryGet()
+			if !ok {
+				break
+			}
+			frames = append(frames, f)
 		}
-		frameLen := binary.LittleEndian.Uint32(lenBuf[:])
-		if frameLen < proto.HeaderSize || frameLen > maxTCPFrame {
-			c.rdMu.Unlock()
-			c.Close() //nolint:errcheck
-			return
-		}
-		frame := make([]byte, frameLen)
-		if _, err := io.ReadFull(c.rd, frame); err != nil {
-			c.rdMu.Unlock()
-			c.Close() //nolint:errcheck
-			return
-		}
-		c.rdMu.Unlock()
-		hdr, payload, err := proto.DecodeHeader(frame)
-		if err != nil || hdr.Kind != proto.KindResponse {
+		if len(frames) == 0 {
+			<-c.wake
 			continue
 		}
-		c.mu.Lock()
-		ch, ok := c.pending[hdr.RequestID]
-		if ok {
-			delete(c.pending, hdr.RequestID)
+		if len(frames) < tcpTxBatch {
+			// Small batch under load: yield one scheduling quantum so
+			// completing workers can pile more frames on the ring, then
+			// land the lot in a single writev instead of one syscall
+			// per response.
+			runtime.Gosched()
+			for len(frames) < tcpTxBatch {
+				f, ok := c.tx.TryGet()
+				if !ok {
+					break
+				}
+				frames = append(frames, f)
+			}
 		}
-		c.mu.Unlock()
-		if ok {
-			resp := Response{
-				RequestID: hdr.RequestID,
-				Type:      int(int16(hdr.TypeID)),
-				Status:    hdr.Status,
-				Payload:   append([]byte(nil), payload...),
+		stop := false
+		vecs = vecs[:0]
+		for i := range frames {
+			switch {
+			case frames[i].buf != nil:
+				vecs = append(vecs, frames[i].buf.Bytes())
+			case frames[i].msg != nil:
+				vecs = append(vecs, frames[i].msg)
+			default:
+				stop = true // shutdown sentinel (always the last frame)
 			}
-			if tm, has := proto.DecodeTiming(frame, hdr); has {
-				resp.QueueDelay = tm.Queue
-				resp.Service = tm.Service
+		}
+		if len(vecs) > 0 {
+			c.writeMu.Lock()
+			vecs.WriteTo(c.conn) //nolint:errcheck // client may have gone
+			c.writeMu.Unlock()
+		}
+		for i := range frames {
+			if frames[i].buf != nil {
+				frames[i].buf.Release()
 			}
-			ch <- resp
+			if frames[i].buf != nil || frames[i].msg != nil {
+				c.pending.Add(-1)
+			}
+		}
+		if stop {
+			c.conn.Close()
+			return
 		}
 	}
 }

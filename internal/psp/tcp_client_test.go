@@ -1,0 +1,167 @@
+package psp
+
+// Regression battery for TCPClient's failure paths: the per-call
+// timeout must sweep its pending entry, and a read loop that exits
+// first (server hangup) must fail every in-flight call instead of
+// leaking blocked goroutines and map entries.
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+)
+
+func pendingCount(c *TCPClient) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// blackholeListener accepts connections and reads (discarding
+// everything) without ever responding.
+func blackholeListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, conn) //nolint:errcheck
+		}
+	}()
+	return ln
+}
+
+// TestTCPClientCallTimeout pins the timeout path: Call returns
+// ErrCallTimeout after roughly Timeout, and the pending entry is swept
+// so abandoned calls cannot leak.
+func TestTCPClientCallTimeout(t *testing.T) {
+	ln := blackholeListener(t)
+	cli, err := DialTCP(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.Timeout = 50 * time.Millisecond
+
+	start := time.Now()
+	_, err = cli.Call(typedPayload(0, "void"))
+	if !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("err %v, want ErrCallTimeout", err)
+	}
+	if e := time.Since(start); e < 40*time.Millisecond || e > 2*time.Second {
+		t.Fatalf("timed out after %v, want ~50ms", e)
+	}
+	if n := pendingCount(cli); n != 0 {
+		t.Fatalf("%d pending entries leaked after timeout", n)
+	}
+}
+
+// TestTCPClientReadLoopExitFailsPending pins the hangup path: when the
+// server closes the connection with calls in flight, every caller gets
+// ErrClientClosed (promptly, without a timeout configured) and the
+// pending table is left empty.
+func TestTCPClientReadLoopExitFailsPending(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- conn
+	}()
+
+	cli, err := DialTCP(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	const calls = 8
+	errs := make(chan error, calls)
+	for i := 0; i < calls; i++ {
+		go func(i int) {
+			_, err := cli.Call(typedPayload(0, "doomed"))
+			errs <- err
+		}(i)
+	}
+	// Let the calls register and hit the wire, then hang up on them.
+	for deadline := time.Now().Add(5 * time.Second); pendingCount(cli) < calls; {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d calls registered", pendingCount(cli), calls)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	(<-accepted).Close()
+
+	for i := 0; i < calls; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, ErrClientClosed) {
+				t.Fatalf("call %d: err %v, want ErrClientClosed", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("call %d still blocked after server hangup", i)
+		}
+	}
+	if n := pendingCount(cli); n != 0 {
+		t.Fatalf("%d pending entries leaked after hangup", n)
+	}
+	if _, err := cli.Call(typedPayload(0, "late")); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("call on dead client: %v, want ErrClientClosed", err)
+	}
+}
+
+// TestTCPClientLateResponseDiscarded lets a response arrive after its
+// call timed out: the read loop must discard it silently and later
+// calls must keep matching their own IDs.
+func TestTCPClientLateResponseDiscarded(t *testing.T) {
+	ts := newTCPServerOpts(t, TCPOptions{}, HandlerFunc(func(typ int, p, r []byte) (int, proto.Status) {
+		if typ == 1 {
+			time.Sleep(150 * time.Millisecond) // outlives the call timeout
+		}
+		return copy(r, p), proto.StatusOK
+	}))
+	cli, err := DialTCP(ts.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	cli.Timeout = 30 * time.Millisecond
+	if _, err := cli.Call(typedPayload(1, "slow")); !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("slow call: %v, want ErrCallTimeout", err)
+	}
+	cli.Timeout = 5 * time.Second
+	resp, err := cli.Call(typedPayload(0, "fast"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Payload[2:]) != "fast" {
+		t.Fatalf("mismatched payload %q after a discarded late response", resp.Payload)
+	}
+	// The slow response eventually lands on a swept ID; give it time to
+	// prove it neither crashes the read loop nor repopulates the table.
+	time.Sleep(200 * time.Millisecond)
+	if n := pendingCount(cli); n != 0 {
+		t.Fatalf("%d pending entries after late response", n)
+	}
+	if _, err := cli.Call(typedPayload(0, "after")); err != nil {
+		t.Fatalf("client broken after late response: %v", err)
+	}
+}

@@ -1,0 +1,117 @@
+package psp
+
+// FuzzTCPFrameDecode hammers the stream framing decoder shared by the
+// TCP client, the frontend's TCP receiver, and (structurally) the
+// server's read loop: FrameScanner must emit the same frames whether a
+// stream arrives whole or split at arbitrary chunk boundaries, must
+// reject out-of-range length prefixes identically in both deliveries,
+// and must never panic, over-read, or mis-slice — and the proto
+// header/trailer decoders must survive whatever frames it emits.
+//
+// Seed corpus: testdata/fuzz/FuzzTCPFrameDecode plus the f.Add cases
+// below (valid single frame, back-to-back interleaved frames, a frame
+// with timing+correlation trailers, truncated tails, an oversized
+// prefix, and raw garbage).
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/proto"
+)
+
+// scanAll feeds data to a fresh FrameScanner in chunks cut by a
+// pseudo-random walk seeded with splitSeed (state 0 delivers the whole
+// buffer at once) and returns the emitted frames and the scan error.
+func scanAll(data []byte, splitSeed uint64) (frames [][]byte, err error) {
+	var sc FrameScanner
+	emit := func(frame []byte) error {
+		frames = append(frames, append([]byte(nil), frame...))
+		return nil
+	}
+	if splitSeed == 0 {
+		return frames, sc.Push(data, emit)
+	}
+	state := splitSeed
+	rest := data
+	for len(rest) > 0 {
+		state = state*6364136223846793005 + 1442695040888963407
+		n := 1 + int(state%uint64(len(rest))) // always makes progress
+		if err := sc.Push(rest[:n], emit); err != nil {
+			return frames, err
+		}
+		rest = rest[n:]
+	}
+	return frames, nil
+}
+
+func FuzzTCPFrameDecode(f *testing.F) {
+	// A valid request frame, two back-to-back frames, and a response
+	// frame carrying both trailers.
+	one := appendRequestFrame(nil, 7, 0, typedPayload(0, "seed"))
+	two := appendRequestFrame(append([]byte(nil), one...), 8, 1, typedPayload(1, "pair"))
+	resp := proto.AppendResponse(make([]byte, tcpLenPrefixSize), proto.Header{
+		Status: proto.StatusOK, TypeID: 1, RequestID: 9,
+	}, []byte("payload"), proto.Timing{Queue: 1000, Service: 2000})
+	resp = proto.AppendCorrelation(resp, proto.Correlation{QueryID: 3, Shard: 2, Attempt: 1})
+	binary.LittleEndian.PutUint32(resp[:tcpLenPrefixSize], uint32(len(resp)-tcpLenPrefixSize))
+
+	f.Add(one, uint64(0))
+	f.Add(two, uint64(3))
+	f.Add(resp, uint64(5))
+	f.Add(one[:len(one)-3], uint64(1)) // truncated body
+	f.Add(one[:2], uint64(2))          // truncated prefix
+	// Oversized length prefix: poisons the stream.
+	over := make([]byte, 8)
+	binary.LittleEndian.PutUint32(over, maxTCPFrame+1)
+	f.Add(over, uint64(4))
+	f.Add([]byte("\x00\x00\x00\x00garbage"), uint64(6))
+	f.Add([]byte{}, uint64(7))
+
+	f.Fuzz(func(t *testing.T, data []byte, splitSeed uint64) {
+		if len(data) > 1<<20 {
+			return // keep per-case work bounded
+		}
+		refFrames, refErr := scanAll(data, 0)
+		gotFrames, gotErr := scanAll(data, splitSeed|1)
+
+		// Framing is chunking-independent: same frames, same verdict.
+		if (refErr != nil) != (gotErr != nil) {
+			t.Fatalf("error disagreement: whole=%v split=%v", refErr, gotErr)
+		}
+		if len(refFrames) != len(gotFrames) {
+			t.Fatalf("frame count disagreement: whole=%d split=%d", len(refFrames), len(gotFrames))
+		}
+		consumed := 0
+		for i := range refFrames {
+			if !bytes.Equal(refFrames[i], gotFrames[i]) {
+				t.Fatalf("frame %d differs between whole and split delivery", i)
+			}
+			if len(refFrames[i]) < proto.HeaderSize || len(refFrames[i]) > maxTCPFrame {
+				t.Fatalf("emitted frame %d has out-of-range length %d", i, len(refFrames[i]))
+			}
+			// Every emitted frame is the exact wire slice after its
+			// 4-byte prefix: no resynchronization gaps, no over-read.
+			start := consumed + tcpLenPrefixSize
+			if start+len(refFrames[i]) > len(data) || !bytes.Equal(refFrames[i], data[start:start+len(refFrames[i])]) {
+				t.Fatalf("frame %d is not the contiguous wire slice at offset %d", i, start)
+			}
+			consumed = start + len(refFrames[i])
+		}
+
+		// The decoders downstream of the scanner must hold up on
+		// anything it emits.
+		for _, frame := range refFrames {
+			hdr, payload, err := proto.DecodeHeader(frame)
+			if err != nil {
+				continue
+			}
+			if len(payload) > len(frame) {
+				t.Fatalf("payload longer than its frame")
+			}
+			proto.DecodeTiming(frame, hdr)
+			proto.DecodeCorrelation(frame, hdr)
+		}
+	})
+}

@@ -1,0 +1,6 @@
+//go:build darwin || freebsd || netbsd || openbsd || dragonfly
+
+package psp
+
+// soReusePort is SO_REUSEPORT on the BSD socket API family.
+const soReusePort = 0x200

@@ -1,0 +1,7 @@
+//go:build linux
+
+package psp
+
+// soReusePort is SO_REUSEPORT, absent from the frozen stdlib syscall
+// package on linux.
+const soReusePort = 0xf

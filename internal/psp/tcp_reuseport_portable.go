@@ -1,0 +1,18 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package psp
+
+import (
+	"errors"
+	"net"
+)
+
+// reusePortSupported is false here: without SO_REUSEPORT the accept
+// shards share a single listener (ListenTCPShards runs Shards accept
+// goroutines against it instead of one listener per shard).
+const reusePortSupported = false
+
+// reusePortListen is never called when reusePortSupported is false.
+func reusePortListen(addr string) (net.Listener, error) {
+	return nil, errors.New("psp: SO_REUSEPORT not supported on this platform")
+}

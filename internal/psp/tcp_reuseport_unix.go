@@ -1,0 +1,31 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package psp
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+// reusePortSupported reports whether the platform can bind multiple
+// TCP listeners to one address with SO_REUSEPORT, letting the kernel
+// spread incoming connections across accept shards.
+const reusePortSupported = true
+
+// reusePortListen binds a TCP listener with SO_REUSEPORT set before
+// bind, so several shard listeners can share the same address.
+func reusePortListen(addr string) (net.Listener, error) {
+	lc := net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			if err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			}); err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+	return lc.Listen(context.Background(), "tcp", addr)
+}

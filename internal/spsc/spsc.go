@@ -120,11 +120,15 @@ func (r *Ring[T]) Empty() bool { return r.Len() == 0 }
 // backoff escalates from busy spinning through cooperative yielding to
 // brief sleeps; on an oversubscribed box pure spinning would starve
 // the peer goroutine (a real Perséphone pins one thread per core and
-// never sleeps — see DESIGN.md on this substitution).
+// never sleeps — see DESIGN.md on this substitution). The Gosched
+// window is kept short: every yield forces a full scheduler pass, so a
+// long yield storm on a host with fewer cores than goroutines steals
+// the very CPU the peer needs to make the awaited progress — parking
+// early costs one timer wakeup, churning costs the whole pipeline.
 func backoff(spins int) {
 	switch {
 	case spins < 64:
-	case spins < 4096:
+	case spins < 192:
 		runtime.Gosched()
 	default:
 		time.Sleep(20 * time.Microsecond)

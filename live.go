@@ -68,8 +68,8 @@ const (
 // LiveConfig assembles a live server. It is the one public
 // configuration path for the live runtime: NewLiveServerStopped
 // translates it into a ready-to-start pipeline, and every constructor
-// (NewLiveServer, Listen, and the deprecated ServeUDP/ServeTCP) goes
-// through that translation.
+// (NewLiveServer, Listen, and the deprecated ServeUDP) goes through
+// that translation.
 type LiveConfig struct {
 	// Workers is the number of application worker goroutines.
 	Workers int
@@ -85,16 +85,27 @@ type LiveConfig struct {
 	// QueueCap bounds each typed queue (default 4096); overflowing
 	// requests are answered with StatusDropped.
 	QueueCap int
-	// NetShards is the number of UDP ingress shards — sockets, each
-	// with its own net worker, buffer pool and TX goroutine — when the
-	// server is exposed with Listen("udp", ...). With a non-zero
-	// listen port, shard i binds port+i. Default 1. Ignored by the
-	// in-process and TCP transports.
+	// NetShards is the number of ingress shards when the server is
+	// exposed with Listen. Over UDP each shard is a socket with its own
+	// net worker, buffer pool and TX goroutine (a non-zero listen port
+	// makes shard i bind port+i); over TCP each shard is an accept lane
+	// with its own buffer pool (SO_REUSEPORT listeners on the same
+	// address where the platform supports it). Default 1. Ignored by
+	// the in-process transport.
 	NetShards int
-	// RxBurst caps how many datagrams a UDP net worker drains per
-	// wakeup before handing the burst to the dispatcher in a single
-	// ring synchronization (default 32). Ignored off the UDP path.
+	// RxBurst caps how many frames a net worker hands to the
+	// dispatcher in a single ring synchronization — datagrams drained
+	// per wakeup on UDP, already-buffered stream frames decoded per
+	// wakeup on TCP (default 32). Ignored by the in-process transport.
 	RxBurst int
+	// TCPMaxConns caps concurrently open connections on
+	// Listen("tcp", ...); excess accepts are closed immediately.
+	// 0 means unlimited. Ignored off the TCP path.
+	TCPMaxConns int
+	// TCPIdleTimeout evicts a Listen("tcp", ...) connection that has
+	// neither delivered a byte nor had a response in flight for this
+	// long; 0 disables idle eviction. Ignored off the TCP path.
+	TCPIdleTimeout time.Duration
 	// Faults optionally enables the chaos layer with the given fault
 	// profile (see internal/faults); nil injects nothing.
 	Faults *FaultProfile
@@ -185,8 +196,14 @@ type LiveListener struct {
 // ("udp" or "tcp") at addr. The UDP transport runs cfg.NetShards
 // ingress shards (port+i per shard when the port is non-zero) with
 // cfg.RxBurst-datagram batched reads and zero-copy per-shard TX
-// rings; the TCP transport frames requests with a 4-byte length
-// prefix. Close stops the transport and the server.
+// rings. The TCP transport frames requests with a 4-byte length
+// prefix and runs the same batched, pooled, sharded datapath on the
+// byte stream: pipelined requests per connection, out-of-order
+// responses matched by RequestID, cfg.NetShards accept shards,
+// vectored per-connection egress, and the cfg.TCPMaxConns /
+// cfg.TCPIdleTimeout lifecycle knobs. Close stops the transport and
+// the server, answering everything already accepted (TCP drains
+// gracefully).
 func Listen(network, addr string, cfg LiveConfig) (*LiveListener, error) {
 	srv, err := NewLiveServerStopped(cfg)
 	if err != nil {
@@ -203,7 +220,12 @@ func Listen(network, addr string, cfg LiveConfig) (*LiveListener, error) {
 		}
 		return &LiveListener{udp: u}, nil
 	case "tcp":
-		t, err := psp.ListenTCP(addr, srv)
+		t, err := psp.ListenTCPShards(addr, srv, psp.TCPOptions{
+			Shards:      cfg.NetShards,
+			Burst:       cfg.RxBurst,
+			MaxConns:    cfg.TCPMaxConns,
+			IdleTimeout: cfg.TCPIdleTimeout,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -232,10 +254,10 @@ func (l *LiveListener) Addr() net.Addr {
 }
 
 // Addrs reports every bound address — one per UDP ingress shard, or
-// the single TCP listener address.
+// one per TCP accept shard (all equal under SO_REUSEPORT sharding).
 func (l *LiveListener) Addrs() []net.Addr {
 	if l.udp == nil {
-		return []net.Addr{l.tcp.Addr()}
+		return l.tcp.Addrs()
 	}
 	shardAddrs := l.udp.Addrs()
 	out := make([]net.Addr, len(shardAddrs))
@@ -273,18 +295,23 @@ func (l *LiveListener) RxDrops() uint64 {
 	return l.tcp.RxDrops()
 }
 
-// RxSheds reports ingress datagrams shed under buffer-pool exhaustion
-// (always 0 on TCP, which backpressures instead).
+// RxSheds reports ingress frames shed under buffer-pool exhaustion —
+// on both transports the client gets an immediate StatusDropped
+// instead of a timeout.
 func (l *LiveListener) RxSheds() uint64 {
 	if l.udp != nil {
 		return l.udp.RxSheds()
 	}
-	return 0
+	return l.tcp.RxSheds()
 }
 
 // UDP exposes the UDP transport when the listener was built with
 // Listen("udp", ...); nil otherwise.
 func (l *LiveListener) UDP() *psp.UDPServer { return l.udp }
+
+// TCP exposes the TCP transport when the listener was built with
+// Listen("tcp", ...); nil otherwise.
+func (l *LiveListener) TCP() *psp.TCPServer { return l.tcp }
 
 // Close stops the transport and the server.
 func (l *LiveListener) Close() error {
@@ -309,18 +336,10 @@ func ServeUDP(addr string, cfg LiveConfig) (*psp.UDPServer, error) {
 	})
 }
 
-// ServeTCP exposes a live server over TCP with length-prefixed frames.
-//
-// Deprecated: use Listen("tcp", addr, cfg).
-func ServeTCP(addr string, cfg LiveConfig) (*psp.TCPServer, error) {
-	srv, err := NewLiveServerStopped(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return psp.ListenTCP(addr, srv)
-}
-
-// DialTCP connects a synchronous client to a Listen("tcp", ...) server.
+// DialTCP connects a pipelined client to a Listen("tcp", ...) server:
+// any number of goroutines may Call concurrently over the one
+// connection, and responses are matched back by request ID in whatever
+// order the server completes them.
 func DialTCP(addr string) (*psp.TCPClient, error) { return psp.DialTCP(addr) }
 
 // LoadConfig drives the open-loop load generator against a live
@@ -340,6 +359,13 @@ func GenerateLoad(srv *LiveServer, cfg LoadConfig) (*LoadResult, error) {
 // server address.
 func GenerateLoadUDP(addr string, cfg LoadConfig) (*LoadResult, error) {
 	return loadgen.RunUDP(addr, cfg)
+}
+
+// GenerateLoadTCP runs the open-loop Poisson client against a TCP
+// server address over cfg.Conns pipelined connections with up to
+// cfg.Pipeline requests in flight on each.
+func GenerateLoadTCP(addr string, cfg LoadConfig) (*LoadResult, error) {
+	return loadgen.RunTCP(addr, cfg)
 }
 
 // Timeout helper so examples don't import time for one constant.
