@@ -1,0 +1,52 @@
+package conformance
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// RunCase runs one clean differential comparison: the trace is
+// generated from the spec (seeded), fed to both implementations under
+// the named policy, and compared.
+func RunCase(spec TraceSpec, policyName string, seed uint64) (*Report, error) {
+	tr, err := spec.GenerateSeeded(seed)
+	if err != nil {
+		return nil, err
+	}
+	return runOn(spec, tr, policyName, seed, nil)
+}
+
+// RunCanonical is RunCase with the spec's own pinned seed — the
+// configuration the committed testdata traces correspond to.
+func RunCanonical(spec TraceSpec, policyName string) (*Report, error) {
+	return RunCase(spec, policyName, spec.Seed)
+}
+
+// RunMutationCase runs one detection trial: the sim models the
+// mutation's declared policy, the live server runs the perturbed
+// configuration, and the returned report must NOT agree.
+func RunMutationCase(spec TraceSpec, mut Mutation, seed uint64) (*Report, error) {
+	tr, err := spec.GenerateSeeded(seed)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := runOn(spec, tr, mut.Policy, seed, &mut)
+	if err != nil {
+		return nil, err
+	}
+	rep.Mutation = mut.Name
+	return rep, nil
+}
+
+func runOn(spec TraceSpec, tr *trace.Trace, policyName string, seed uint64, mut *Mutation) (*Report, error) {
+	simRun, err := RunSim(spec, tr, policyName, seed)
+	if err != nil {
+		return nil, fmt.Errorf("conformance: sim %s/%s: %w", spec.Name, policyName, err)
+	}
+	liveRun, err := RunLive(spec, tr, policyName, seed, mut)
+	if err != nil {
+		return nil, fmt.Errorf("conformance: live %s/%s: %w", spec.Name, policyName, err)
+	}
+	return Compare(spec, tr, simRun, liveRun, DefaultOptions(policyName, tr.Len())), nil
+}

@@ -1,0 +1,79 @@
+package conformance
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/psp"
+)
+
+// Mutation is one deliberate live-scheduler perturbation. The sim
+// always runs the *declared* policy; the mutation quietly changes what
+// the live server actually does, and the comparator must notice. A
+// harness that passes the clean matrix but misses a mutation has no
+// teeth.
+type Mutation struct {
+	// Name identifies the mutation in reports.
+	Name string
+	// Policy is the declared policy the mutation hides under.
+	Policy string
+	// Detail says what is perturbed, for the report.
+	Detail string
+
+	// Live-side perturbations (nil/false = leave alone).
+	mode           *psp.Mode
+	staticReserved *int
+	faults         *faults.Profile
+	flipClassifier bool
+}
+
+func modePtr(m psp.Mode) *psp.Mode { return &m }
+func intPtr(i int) *int            { return &i }
+
+// Mutations is the detection catalogue: every entry must be flagged by
+// Compare on every canonical trace and seed (zero false negatives).
+func Mutations() []Mutation {
+	return []Mutation{
+		{
+			Name:   "policy-swap-cfcfs",
+			Policy: "darc",
+			Detail: "live server silently runs c-FCFS instead of DARC",
+			mode:   modePtr(psp.ModeCFCFS),
+		},
+		{
+			Name:   "delayed-update",
+			Policy: "darc",
+			Detail: "faults.ReservationDelay holds every DARC update past the run",
+			faults: &faults.Profile{Seed: 1, StallWorker: -1, SlowWorker: -1, ReservationDelay: 30 * time.Minute},
+		},
+		{
+			Name:           "reservation-shrink",
+			Policy:         "darc-static",
+			Detail:         "static reservation shrunk to zero cores",
+			staticReserved: intPtr(0),
+		},
+		{
+			Name:   "policy-swap-dfcfs",
+			Policy: "cfcfs",
+			Detail: "live server steers per-worker queues (d-FCFS) instead of c-FCFS",
+			mode:   modePtr(psp.ModeDFCFS),
+		},
+		{
+			Name:           "misclassify",
+			Policy:         "cfcfs",
+			Detail:         "classifier swaps the two most extreme types",
+			flipClassifier: true,
+		},
+	}
+}
+
+// MutationByName finds a catalogue entry.
+func MutationByName(name string) (Mutation, error) {
+	for _, m := range Mutations() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Mutation{}, fmt.Errorf("conformance: unknown mutation %q", name)
+}

@@ -1,0 +1,173 @@
+package conformance
+
+// Golden pinning for the canonical conformance traces. The committed
+// CSVs under testdata/conformance/ are the replayable ground truth the
+// whole harness keys off: the sim consumes them as cluster replays,
+// the live side as loadgen replays, and EXPERIMENTS.md quotes results
+// against them by name. Any drift in the generator chain (RNG, Poisson
+// source, mix sampling) shows up here as a byte diff, not as a silent
+// re-baselining of every comparison. Regenerate deliberately with
+//
+//	go test ./internal/conformance -run TestCanonicalTracesPinned -update
+//
+// and commit the diff alongside the change that caused it.
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden canonical traces under testdata/conformance/")
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "conformance", name+".csv")
+}
+
+// encodeTrace serialises a trace exactly as the golden files store it.
+func encodeTrace(t *testing.T, tr *trace.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCanonicalTracesPinned(t *testing.T) {
+	for _, spec := range CanonicalSpecs() {
+		t.Run(spec.Name, func(t *testing.T) {
+			tr, err := spec.Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := encodeTrace(t, tr)
+			path := goldenPath(spec.Name)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("golden trace missing (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("spec %q no longer generates its committed trace (%d vs %d bytes): "+
+					"the generator chain drifted; regenerate with -update only if intentional",
+					spec.Name, len(got), len(want))
+			}
+			// The committed bytes must round-trip losslessly — the replay
+			// drivers consume the parsed form, not the generator's.
+			back, err := trace.Read(bytes.NewReader(want))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back.Len() != tr.Len() {
+				t.Fatalf("re-read %d records, generated %d", back.Len(), tr.Len())
+			}
+			if !bytes.Equal(encodeTrace(t, back), got) {
+				t.Fatal("trace CSV round-trip not byte-stable")
+			}
+		})
+	}
+}
+
+// TestCanonicalTraceDeterminism proves the generator chain has no
+// hidden state: same spec, same bytes, forever; a different seed moves
+// the bytes.
+func TestCanonicalTraceDeterminism(t *testing.T) {
+	for _, spec := range CanonicalSpecs() {
+		t.Run(spec.Name, func(t *testing.T) {
+			a, err := spec.Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := spec.Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(encodeTrace(t, a), encodeTrace(t, b)) {
+				t.Fatal("two generations of the same spec differ")
+			}
+			c, err := spec.GenerateSeeded(spec.Seed + 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bytes.Equal(encodeTrace(t, a), encodeTrace(t, c)) {
+				t.Fatal("reseeding produced an identical trace")
+			}
+		})
+	}
+}
+
+// TestCanonicalTraceShape sanity-checks each pinned trace against its
+// spec: arrival rate, horizon, type population and mix ratios all land
+// near their declared values (Poisson and sampling noise allowed).
+func TestCanonicalTraceShape(t *testing.T) {
+	for _, spec := range CanonicalSpecs() {
+		t.Run(spec.Name, func(t *testing.T) {
+			tr, err := spec.Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.NumTypes() != len(spec.Mix.Types) {
+				t.Fatalf("trace has %d types, mix declares %d", tr.NumTypes(), len(spec.Mix.Types))
+			}
+			want := spec.Rate * spec.Duration.Seconds()
+			if n := float64(tr.Len()); math.Abs(n-want) > 0.2*want {
+				t.Fatalf("%d arrivals, want within 20%% of %.0f", tr.Len(), want)
+			}
+			if d := tr.Duration(); d > spec.Duration {
+				t.Fatalf("last arrival %v past the declared horizon %v", d, spec.Duration)
+			}
+			counts := make([]float64, len(spec.Mix.Types))
+			for _, r := range tr.Records {
+				counts[r.Type]++
+			}
+			for i, ts := range spec.Mix.Types {
+				got := counts[i] / float64(tr.Len())
+				// 4σ binomial slack, floored for the smallest ratios.
+				slack := 4*math.Sqrt(ts.Ratio*(1-ts.Ratio)/float64(tr.Len())) + 0.01
+				if math.Abs(got-ts.Ratio) > slack {
+					t.Errorf("type %s ratio %.3f, want %.3f ± %.3f", ts.Name, got, ts.Ratio, slack)
+				}
+			}
+		})
+	}
+}
+
+// TestSpecValidation covers the generator's refusal paths.
+func TestSpecValidation(t *testing.T) {
+	spec, err := SpecByName("bimodal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Rate = 0
+	if _, err := spec.Generate(); err == nil {
+		t.Error("zero rate accepted")
+	}
+	spec.Rate, spec.Duration = 100, 0
+	if _, err := spec.Generate(); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := SpecByName("no-such-trace"); err == nil {
+		t.Error("unknown spec name accepted")
+	}
+	if _, err := MutationByName("no-such-mutation"); err == nil {
+		t.Error("unknown mutation name accepted")
+	}
+	for _, spec := range CanonicalSpecs() {
+		if _, err := SpecByName(spec.Name); err != nil {
+			t.Errorf("SpecByName(%q): %v", spec.Name, err)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,12 +41,26 @@ const (
 	// ModeCFCFS runs plain centralized FCFS, the paper's main
 	// non-preemptive baseline.
 	ModeCFCFS
+	// ModeDFCFS runs decentralized FCFS: each worker owns a queue and
+	// arrivals are steered uniformly at random (modelling NIC RSS, as
+	// in the simulator's d-FCFS policy). Workers never share work.
+	ModeDFCFS
+	// ModeDARCStatic runs the paper's §5.3 manual ablation: the first
+	// Config.StaticReserved workers are dedicated to the statically
+	// shortest type (per Config.StaticMeans); short requests may run
+	// anywhere, longer types only on the non-reserved workers.
+	ModeDARCStatic
 )
 
 // String implements fmt.Stringer.
 func (m Mode) String() string {
-	if m == ModeCFCFS {
+	switch m {
+	case ModeCFCFS:
 		return "c-FCFS"
+	case ModeDFCFS:
+		return "d-FCFS"
+	case ModeDARCStatic:
+		return "DARC-static"
 	}
 	return "DARC"
 }
@@ -115,8 +130,22 @@ type Config struct {
 	Classifier classify.Classifier
 	// Handler executes requests (required).
 	Handler Handler
-	// Mode selects DARC (default) or c-FCFS.
+	// Mode selects the scheduling policy: DARC (default), c-FCFS,
+	// d-FCFS, or DARC-static.
 	Mode Mode
+	// StaticMeans gives ModeDARCStatic its per-type service times
+	// (index = type ID); the type with the smallest mean is the
+	// "short" type the reservation protects. Required in that mode,
+	// ignored otherwise.
+	StaticMeans []time.Duration
+	// StaticReserved is how many workers ModeDARCStatic dedicates to
+	// the shortest type (0 degenerates to fixed priority). Ignored
+	// outside that mode.
+	StaticReserved int
+	// SteerSeed seeds ModeDFCFS's per-arrival worker steering so runs
+	// are reproducible (0 uses a fixed default). Ignored outside that
+	// mode.
+	SteerSeed uint64
 	// DARC tunes the controller; zero value uses defaults with
 	// MinWindowSamples lowered to 512 (live runs are shorter than the
 	// paper's 50k-sample windows).
@@ -159,6 +188,15 @@ type Server struct {
 	queues  []reqFIFO
 	unknown reqFIFO
 	free    []bool // worker idle, dispatcher's view
+
+	// d-FCFS state: one queue per worker plus the xorshift steering
+	// state (dispatcher-only).
+	workerQ []reqFIFO
+	steer   uint64
+
+	// DARC-static state: type IDs sorted by ascending StaticMeans;
+	// staticOrder[0] is the protected short type.
+	staticOrder []int
 
 	start   time.Time
 	nextID  atomic.Uint64
@@ -239,6 +277,14 @@ func NewServer(cfg Config) (*Server, error) {
 	if numTypes <= 0 {
 		return nil, fmt.Errorf("psp: classifier %q declares %d types", cfg.Classifier.Name(), numTypes)
 	}
+	if cfg.Mode == ModeDARCStatic {
+		if len(cfg.StaticMeans) != numTypes {
+			return nil, fmt.Errorf("psp: DARC-static needs %d StaticMeans, got %d", numTypes, len(cfg.StaticMeans))
+		}
+		if cfg.StaticReserved < 0 || cfg.StaticReserved > cfg.Workers {
+			return nil, fmt.Errorf("psp: DARC-static reserved %d out of range for %d workers", cfg.StaticReserved, cfg.Workers)
+		}
+	}
 	ctl, err := darc.NewController(dcfg, numTypes)
 	if err != nil {
 		return nil, err
@@ -268,6 +314,25 @@ func NewServer(cfg Config) (*Server, error) {
 	for i := 0; i < cfg.Workers; i++ {
 		s.rings = append(s.rings, spsc.NewRing[*Request](8))
 		s.free[i] = true
+	}
+	switch cfg.Mode {
+	case ModeDFCFS:
+		s.workerQ = make([]reqFIFO, cfg.Workers)
+		for i := range s.workerQ {
+			s.workerQ[i].cap = cfg.QueueCap
+		}
+		s.steer = cfg.SteerSeed
+		if s.steer == 0 {
+			s.steer = 0x9E3779B97F4A7C15
+		}
+	case ModeDARCStatic:
+		s.staticOrder = make([]int, numTypes)
+		for i := range s.staticOrder {
+			s.staticOrder[i] = i
+		}
+		sort.SliceStable(s.staticOrder, func(a, b int) bool {
+			return cfg.StaticMeans[s.staticOrder[a]] < cfg.StaticMeans[s.staticOrder[b]]
+		})
 	}
 	if cfg.TraceCap >= 0 {
 		capSpans := cfg.TraceCap
@@ -358,17 +423,6 @@ func (s *Server) Call(payload []byte) (Response, error) {
 		return Response{}, err
 	}
 	return <-ch, nil
-}
-
-// inject places an externally built request (UDP path) on the ingress
-// ring; it reports false when the ring is full.
-func (s *Server) inject(r *Request) bool {
-	if s.stopped.Load() {
-		return false
-	}
-	r.id = s.nextID.Add(1)
-	r.arrival = s.now()
-	return s.ingress.TryPut(r)
 }
 
 // injectBatch places a burst of externally built requests on the
@@ -480,7 +534,11 @@ func (s *Server) maybeUpdateReservation() {
 
 func (s *Server) enqueue(r *Request) {
 	q := &s.unknown
-	if r.typ >= 0 && r.typ < len(s.queues) {
+	if s.cfg.Mode == ModeDFCFS {
+		// d-FCFS steers each arrival to one worker's private queue,
+		// type notwithstanding (RSS hashes flows, not request types).
+		q = &s.workerQ[s.steerNext()]
+	} else if r.typ >= 0 && r.typ < len(s.queues) {
 		q = &s.queues[r.typ]
 	}
 	r.enqueued = s.now()
@@ -491,6 +549,17 @@ func (s *Server) enqueue(r *Request) {
 	s.mu.Lock()
 	s.enqueued++
 	s.mu.Unlock()
+}
+
+// steerNext draws the next d-FCFS worker assignment from a seeded
+// xorshift64 stream (dispatcher-only, deterministic per SteerSeed).
+func (s *Server) steerNext() int {
+	x := s.steer
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.steer = x
+	return int(x % uint64(len(s.workerQ)))
 }
 
 func (s *Server) drop(r *Request) {
@@ -517,6 +586,14 @@ func (s *Server) record(c completion) {
 func (s *Server) dispatch() bool {
 	moved := false
 	switch {
+	case s.cfg.Mode == ModeDFCFS:
+		for s.dispatchDFCFS() {
+			moved = true
+		}
+	case s.cfg.Mode == ModeDARCStatic:
+		for s.dispatchDARCStatic() {
+			moved = true
+		}
 	case s.cfg.Mode == ModeCFCFS, s.ctl.Reservation() == nil:
 		for s.dispatchFCFS() {
 			moved = true
@@ -527,6 +604,61 @@ func (s *Server) dispatch() bool {
 		}
 	}
 	return moved
+}
+
+// dispatchDFCFS hands each free worker the head of its own queue;
+// workers never share work (uncontrolled non-work-conservation).
+func (s *Server) dispatchDFCFS() bool {
+	moved := false
+	for w, f := range s.free {
+		if !f || s.workerQ[w].empty() {
+			continue
+		}
+		s.handoff(w, s.workerQ[w].pop())
+		moved = true
+	}
+	return moved
+}
+
+// dispatchDARCStatic scans typed queues in ascending static-mean order:
+// the shortest type runs on any free worker, every other type (and the
+// unknown queue, last) only on workers at or above StaticReserved —
+// mirroring the simulator's DARCStatic policy.
+func (s *Server) dispatchDARCStatic() bool {
+	moved := false
+	for _, t := range s.staticOrder {
+		q := &s.queues[t]
+		if q.empty() {
+			continue
+		}
+		lo := s.cfg.StaticReserved
+		if t == s.staticOrder[0] {
+			lo = 0
+		}
+		w := s.firstFreeFrom(lo)
+		if w < 0 {
+			continue
+		}
+		s.handoff(w, q.pop())
+		moved = true
+	}
+	if !s.unknown.empty() {
+		if w := s.firstFreeFrom(s.cfg.StaticReserved); w >= 0 {
+			s.handoff(w, s.unknown.pop())
+			moved = true
+		}
+	}
+	return moved
+}
+
+// firstFreeFrom returns the lowest free worker with ID >= lo, or -1.
+func (s *Server) firstFreeFrom(lo int) int {
+	for w := lo; w < len(s.free); w++ {
+		if s.free[w] {
+			return w
+		}
+	}
+	return -1
 }
 
 func (s *Server) dispatchFCFS() bool {
@@ -637,6 +769,11 @@ func (s *Server) drainAndShutdown() {
 	}
 	for i := range s.queues {
 		for r := s.queues[i].pop(); r != nil; r = s.queues[i].pop() {
+			s.drop(r)
+		}
+	}
+	for i := range s.workerQ {
+		for r := s.workerQ[i].pop(); r != nil; r = s.workerQ[i].pop() {
 			s.drop(r)
 		}
 	}

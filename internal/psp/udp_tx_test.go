@@ -1,0 +1,84 @@
+package psp_test
+
+// Egress-ring overflow on the sharded UDP datapath: when a completing
+// worker finds the per-shard TX ring full it must transmit the
+// response inline (never block, never drop), and the bypass is counted
+// in TxRingFull so operators can size the ring.
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/psp"
+)
+
+// TestUDPTxRingFullInlineFallback drives bursts through a shard with a
+// one-slot TX ring: back-to-back completions collide on the slot
+// before the TX goroutine drains it, so the inline fallback must fire
+// (TxRingFull > 0) while every burst still gets answered.
+func TestUDPTxRingFullInlineFallback(t *testing.T) {
+	u := newShardedServer(t, psp.UDPOptions{Shards: 1, Burst: 32, TXRing: 1},
+		psp.HandlerFunc(echoHandler))
+	conn, err := net.DialUDP("udp", nil, u.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	const burst = 32
+	deadline := time.Now().Add(5 * time.Second)
+	id := uint64(0)
+	for u.TxRingFull() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no TX-ring bypass after %d requests against a 1-slot ring (rx %d)",
+				id, u.Received())
+		}
+		for i := 0; i < burst; i++ {
+			id++
+			msg := proto.AppendMessage(nil, proto.Header{
+				Kind:      proto.KindRequest,
+				RequestID: id,
+			}, typedPayloadX(0, "txburst"))
+			conn.Write(msg) //nolint:errcheck
+		}
+		// Drain whatever replies are in: the client socket buffer must
+		// not overflow while the loop hunts for a collision.
+		conn.SetReadDeadline(time.Now().Add(20 * time.Millisecond)) //nolint:errcheck
+		buf := make([]byte, 2048)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				break
+			}
+		}
+	}
+	// The bypass fired; one more request must still round-trip, and
+	// its reply must decode as a well-formed response.
+	id++
+	msg := proto.AppendMessage(nil, proto.Header{
+		Kind:      proto.KindRequest,
+		RequestID: id,
+	}, typedPayloadX(1, "after-bypass"))
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	buf := make([]byte, 2048)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			t.Fatalf("no reply after TX-ring bypass: %v", err)
+		}
+		hdr, _, derr := proto.DecodeHeader(buf[:n])
+		if derr != nil || hdr.Kind != proto.KindResponse {
+			t.Fatalf("bad response frame: %v", derr)
+		}
+		if hdr.RequestID == id {
+			if hdr.Status != proto.StatusOK {
+				t.Fatalf("status %v after bypass", hdr.Status)
+			}
+			break
+		}
+		// A straggler from the hunt bursts; keep reading.
+	}
+}

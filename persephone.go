@@ -3,6 +3,7 @@ package persephone
 import (
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -309,7 +310,11 @@ func ParsePolicySpec(name string) (PolicySpec, error) {
 	case "ts-ideal":
 		if hasArg {
 			us, err := strconv.ParseFloat(strings.TrimSuffix(arg, "us"), 64)
-			if err != nil || us < 0 {
+			// The bound rejects NaN and infinities too (NaN fails every
+			// comparison, so "us < 0" alone would let it through into an
+			// undefined float→Duration conversion). 1e9µs ≈ 17min is far
+			// beyond any plausible preemption overhead.
+			if err != nil || math.IsNaN(us) || us < 0 || us > 1e9 {
 				return PolicySpec{}, fmt.Errorf("persephone: ts-ideal needs :Nus, got %q", arg)
 			}
 			spec.PreemptOverhead = time.Duration(us * float64(time.Microsecond))

@@ -5,6 +5,7 @@ package persephone_test
 // machine-shape validation, and every documented error path.
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -162,4 +163,88 @@ func TestMixByNameErrors(t *testing.T) {
 			t.Errorf("%q: %v", name, err)
 		}
 	}
+}
+
+// TestPolicySpecRoundTripProperty drives parse∘String over the whole
+// advertised grammar: every PolicyNames entry (argument placeholders
+// substituted across their domain) and a deterministic sweep of
+// arg-carrying specs must satisfy parse(s.String()) == canonical(s).
+// This is the property the fuzzer below explores from hostile inputs;
+// here it is checked exhaustively over the documented surface.
+func TestPolicySpecRoundTripProperty(t *testing.T) {
+	var inputs []string
+	for _, name := range persephone.PolicyNames() {
+		switch {
+		case strings.HasSuffix(name, ":N"):
+			base := strings.TrimSuffix(name, ":N")
+			for _, n := range []int{0, 1, 2, 7, 16} {
+				inputs = append(inputs, fmt.Sprintf("%s:%d", base, n))
+			}
+		case strings.HasSuffix(name, ":Nus"):
+			base := strings.TrimSuffix(name, ":Nus")
+			inputs = append(inputs, base)
+			for _, us := range []float64{0, 0.25, 1, 1.5, 5, 1000} {
+				inputs = append(inputs, fmt.Sprintf("%s:%gus", base, us))
+			}
+		default:
+			inputs = append(inputs, name, strings.ToUpper(name), "  "+name+"\t")
+		}
+	}
+	for _, in := range inputs {
+		spec, err := persephone.ParsePolicySpec(in)
+		if err != nil {
+			t.Errorf("%q: %v", in, err)
+			continue
+		}
+		again, err := persephone.ParsePolicySpec(spec.String())
+		if err != nil {
+			t.Errorf("%q → %q: %v", in, spec.String(), err)
+			continue
+		}
+		if again != spec {
+			t.Errorf("%q: parse∘String not idempotent: %+v → %q → %+v", in, spec, spec.String(), again)
+		}
+		if again.String() != spec.String() {
+			t.Errorf("%q: String not stable: %q vs %q", in, spec.String(), again.String())
+		}
+	}
+}
+
+// FuzzParsePolicySpec asserts the parser's safety and round-trip
+// properties on arbitrary input: it must never panic, and any input it
+// accepts must canonicalize — String() reparses to the identical spec
+// with non-negative arguments and a lowercase canonical name.
+func FuzzParsePolicySpec(f *testing.F) {
+	for _, name := range persephone.PolicyNames() {
+		f.Add(name)
+	}
+	f.Add("")
+	f.Add("darc-static:3")
+	f.Add("ts-ideal:0.5us")
+	f.Add("ts-ideal:NaNus")
+	f.Add("ts-ideal:+Infus")
+	f.Add("ts-ideal:1e300us")
+	f.Add("darc-static:+3")
+	f.Add("  D-FCFS  ")
+	f.Add("darc:")
+	f.Add("darc-static:99999999999999999999")
+	f.Fuzz(func(t *testing.T, in string) {
+		spec, err := persephone.ParsePolicySpec(in)
+		if err != nil {
+			return // rejection is always fine; not panicking is the point
+		}
+		if spec.Name != strings.ToLower(spec.Name) || strings.TrimSpace(spec.Name) != spec.Name || spec.Name == "" {
+			t.Fatalf("%q: non-canonical name %q", in, spec.Name)
+		}
+		if spec.StaticReserved < 0 || spec.PreemptOverhead < 0 {
+			t.Fatalf("%q: negative argument in %+v", in, spec)
+		}
+		again, err := persephone.ParsePolicySpec(spec.String())
+		if err != nil {
+			t.Fatalf("%q: canonical form %q rejected: %v", in, spec.String(), err)
+		}
+		if again != spec {
+			t.Fatalf("%q: round trip %+v → %q → %+v", in, spec, spec.String(), again)
+		}
+	})
 }
