@@ -88,7 +88,7 @@ func main() {
 			return p
 		},
 	}
-	var res *persephone.LoadResult
+	rc := persephone.LoadRunConfig{Config: cfg}
 	switch *transport {
 	case "udp":
 		target, err := expandShards(*addr, *shards)
@@ -96,28 +96,29 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		res, err = persephone.GenerateLoadUDP(target, cfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		rc.Transport = persephone.LoadTransportUDP
+		if *frontendMode {
+			rc.Transport = persephone.LoadTransportFrontend
 		}
+		rc.Addr = target
 	case "tcp":
 		if *frontendMode {
 			fmt.Fprintln(os.Stderr, "-frontend is UDP-only: psp-frontend speaks datagrams to clients")
 			os.Exit(2)
 		}
-		var err error
-		res, err = persephone.GenerateLoadTCP(*addr, cfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		rc.Transport = persephone.LoadTransportTCP
+		rc.Addr = *addr
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -transport %q (want udp or tcp)\n", *transport)
 		os.Exit(2)
 	}
-	fmt.Printf("sent %d  received %d  dropped %d  timed out %d  retries %d  achieved %.0f rps\n",
-		res.Sent, res.Received, res.Dropped, res.TimedOut, res.Retries, res.AchievedRate())
+	res, err := persephone.RunLoad(rc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("sent %d  received %d  dropped %d  timed out %d  retries %d  nacked %d  achieved %.0f rps\n",
+		res.Sent, res.Received, res.Dropped, res.TimedOut, res.Retries, res.Nacked, res.AchievedRate())
 	if *frontendMode {
 		fmt.Printf("hedged queries %d (answered with >= 1 hedge issued)\n", res.Hedged)
 	}

@@ -76,8 +76,8 @@ func main() {
 	}
 	st := fe.Stats()
 	fmt.Printf("\nqueries %d (ok %d, failed %d, shed %d)\n", st.Queries, st.QueriesOK, st.QueriesFailed, st.QueriesShed)
-	fmt.Printf("sub-requests issued %d = replied %d + duplicate %d + timed out %d (unaccounted %d)\n",
-		st.SubIssued, st.SubReplied, st.SubDuplicate, st.SubTimedOut, st.SubUnaccounted())
+	fmt.Printf("sub-requests issued %d = replied %d + duplicate %d + timed out %d + nacked %d (unaccounted %d)\n",
+		st.SubIssued, st.SubReplied, st.SubDuplicate, st.SubTimedOut, st.SubNacked, st.SubUnaccounted())
 	fmt.Printf("hedges %d (wins %d), ejections %d, strays %d\n", st.Hedges, st.HedgeWins, st.Ejections, st.Strays)
 	if st.QueryCount > 0 {
 		fmt.Printf("query latency p50=%v p99=%v p999=%v (n=%d)\n", st.QueryP50, st.QueryP99, st.QueryP999, st.QueryCount)

@@ -42,6 +42,8 @@ func main() {
 	cfcfs := flag.Bool("cfcfs", false, "run the c-FCFS baseline instead of DARC")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /healthz on this address (e.g. 127.0.0.1:9941)")
 	faultSpec := flag.String("faults", "", `chaos profile, e.g. "seed=42,drop=0.1,dup=0.01,stall=0:5ms,slow=1:2,crash=0.001,respawn=10ms,resdelay=5ms"`)
+	admSpec := flag.String("admission", "", `per-type queue-delay budgets enabling admission control, e.g. "3ms,50ms" (zero/missing entries auto-derive from the DARC profile; over-budget requests are NACKed with a retry-after hint)`)
+	admTrim := flag.Duration("admission-trim", 0, "sustained-overload trim threshold for -admission (0 = auto: half the smallest budget)")
 	traceOut := flag.String("trace-out", "", "dump completed-request lifecycle spans to this CSV file (replayable via psp-trace/psp-sim)")
 	flag.Parse()
 
@@ -59,6 +61,17 @@ func main() {
 			os.Exit(2)
 		}
 		cfg.Faults = &profile
+	}
+	if *admSpec != "" {
+		pol, err := parseAdmission(*admSpec, *admTrim)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Admission = pol
+	} else if *admTrim != 0 {
+		fmt.Fprintln(os.Stderr, "-admission-trim needs -admission")
+		os.Exit(2)
 	}
 	var traceFile *os.File
 	var spanW *trace.SpanWriter
@@ -86,6 +99,9 @@ func main() {
 		*app, *transport, ln.AddrStrings(), *shards, *burst, *workers, policyName(*cfcfs))
 	if cfg.Faults != nil {
 		fmt.Printf("chaos profile active: %s\n", cfg.Faults)
+	}
+	if cfg.Admission != nil {
+		fmt.Printf("admission control active: budgets %s\n", *admSpec)
 	}
 	if *metricsAddr != "" {
 		bound, shutdown, err := ln.Server().ServeMetrics(*metricsAddr)
@@ -145,10 +161,37 @@ func main() {
 		fmt.Printf("faults injected %d  worker restarts %d  client retries seen %d\n",
 			st.FaultsInjected, st.WorkerRestarts, st.RetriesSeen)
 	}
+	if st.Admission != nil {
+		tot := st.Admission.Totals()
+		fmt.Printf("admission: accepted %d  completed %d  shed %d (deadline %d  overload %d  lost %d)\n",
+			tot.Accepted, tot.Completed, tot.Shed(), tot.ShedDeadline, tot.ShedOverload, tot.ShedLost)
+	}
 	for _, row := range st.Summaries {
 		fmt.Printf("  %-10s n=%-8d p50=%-12v p999=%-12v slowdown999=%.1fx\n",
 			row.Name, row.Completed, row.P50, row.P999, row.Slowdown999)
 	}
+}
+
+// parseAdmission turns a comma-separated budget list ("3ms,50ms")
+// into an admission policy. A zero entry keeps that type on the
+// auto-derived budget.
+func parseAdmission(spec string, trim time.Duration) (*persephone.AdmissionPolicy, error) {
+	parts := strings.Split(spec, ",")
+	budgets := make([]time.Duration, len(parts))
+	for i, p := range parts {
+		d, err := time.ParseDuration(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("-admission entry %d: %v", i, err)
+		}
+		if d < 0 {
+			return nil, fmt.Errorf("-admission entry %d: negative budget %v", i, d)
+		}
+		budgets[i] = d
+	}
+	if trim < 0 {
+		return nil, fmt.Errorf("-admission-trim: negative threshold %v", trim)
+	}
+	return &persephone.AdmissionPolicy{Budgets: budgets, OverloadDelay: trim}, nil
 }
 
 func policyName(cfcfs bool) string {

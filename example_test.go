@@ -30,11 +30,16 @@ func ExampleSimulate() {
 	// short SLO met: true
 }
 
-// ExampleParsePolicy shows the scheduler name grammar.
-func ExampleParsePolicy() {
+// ExampleParsePolicySpec shows the scheduler name grammar.
+func ExampleParsePolicySpec() {
 	mix := persephone.HighBimodal()
 	for _, name := range []string{"darc", "darc-static:2", "ts-ideal:1us", "bogus"} {
-		_, err := persephone.ParsePolicy(name, 14, mix, 1)
+		var err error
+		if spec, perr := persephone.ParsePolicySpec(name); perr != nil {
+			err = perr
+		} else {
+			_, err = spec.Constructor(14, mix, 1)
+		}
 		fmt.Println(name, "ok:", err == nil)
 	}
 	// Output:

@@ -78,17 +78,20 @@ func run(useCFCFS bool) {
 	defer srv.Stop()
 
 	mix := persephone.RocksDB() // 50% GET / 50% SCAN ratios
-	res, err := persephone.GenerateLoad(srv, persephone.LoadConfig{
-		Mix:      mix,
-		Rate:     2000,
-		Duration: 3 * time.Second,
-		Seed:     1,
-		BuildPayload: func(typ int) []byte {
-			if typ == 0 {
-				return []byte(fmt.Sprintf("GET key%06d", typ*997%5000))
-			}
-			return []byte("SCAN")
+	res, err := persephone.RunLoad(persephone.LoadRunConfig{
+		Config: persephone.LoadConfig{
+			Mix:      mix,
+			Rate:     2000,
+			Duration: 3 * time.Second,
+			Seed:     1,
+			BuildPayload: func(typ int) []byte {
+				if typ == 0 {
+					return []byte(fmt.Sprintf("GET key%06d", typ*997%5000))
+				}
+				return []byte("SCAN")
+			},
 		},
+		Server: srv,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -35,19 +35,22 @@ func main() {
 
 	mix := persephone.TPCC()
 	var seq uint32
-	res, err := persephone.GenerateLoad(srv, persephone.LoadConfig{
-		Mix:      mix,
-		Rate:     3000,
-		Duration: 3 * time.Second,
-		Seed:     2,
-		BuildPayload: func(typ int) []byte {
-			seq++
-			p := make([]byte, 6)
-			binary.LittleEndian.PutUint16(p[0:2], uint16(typ))
-			binary.LittleEndian.PutUint16(p[2:4], uint16(seq%10))  // district
-			binary.LittleEndian.PutUint16(p[4:6], uint16(seq%300)) // customer
-			return p
+	res, err := persephone.RunLoad(persephone.LoadRunConfig{
+		Config: persephone.LoadConfig{
+			Mix:      mix,
+			Rate:     3000,
+			Duration: 3 * time.Second,
+			Seed:     2,
+			BuildPayload: func(typ int) []byte {
+				seq++
+				p := make([]byte, 6)
+				binary.LittleEndian.PutUint16(p[0:2], uint16(typ))
+				binary.LittleEndian.PutUint16(p[2:4], uint16(seq%10))  // district
+				binary.LittleEndian.PutUint16(p[4:6], uint16(seq%300)) // customer
+				return p
+			},
 		},
+		Server: srv,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -199,7 +199,9 @@ func Compare(spec TraceSpec, tr *trace.Trace, sim *SimRun, live *LiveRun, opt Co
 	if live.Result.Unaccounted() != 0 {
 		rep.diverge("live-conservation", "replay left %d requests unaccounted", live.Result.Unaccounted())
 	}
-	if live.Result.Dropped != 0 {
+	if live.AdmissionBudget == 0 && live.Result.Dropped != 0 {
+		// With no admission control declared the live server has no
+		// licence to refuse anything the lossless sim completed.
 		rep.diverge("live-shed", "live server shed %d requests a lossless sim completed", live.Result.Dropped)
 	}
 	if live.Result.TimedOut > opt.TimeoutBudget {
@@ -241,6 +243,31 @@ func Compare(spec TraceSpec, tr *trace.Trace, sim *SimRun, live *LiveRun, opt Co
 		if sim.PerType[t] != traceCounts[t] {
 			rep.diverge("type-counts", "type %d completed %d times in sim, trace has %d",
 				t, sim.PerType[t], traceCounts[t])
+		}
+	}
+
+	// --- structural: admission declaration honoured ---
+	// The sim is the lossless reference: every post-warmup queueing
+	// delay it records above the declared budget is a request a
+	// faithful admission controller would have refused (or at least
+	// been pushed into overload trimming by). A server that declares a
+	// budget, sees ample over-budget pressure, and sheds nothing is
+	// running with admission disabled. The evidence floor keeps border
+	// traffic (a handful of over-budget stragglers the live side may
+	// legitimately have dispatched in time) from tripping the check.
+	if live.AdmissionBudget > 0 {
+		const admissionMinEvidence = 20
+		over := 0
+		for _, delays := range sim.QueueDelays {
+			for _, d := range delays {
+				if d > live.AdmissionBudget {
+					over++
+				}
+			}
+		}
+		if over >= admissionMinEvidence && live.AdmissionShed == 0 && live.Result.Dropped == 0 {
+			rep.diverge("admission", "declared budget %v with %d sim queue delays over it, yet the live server shed nothing",
+				live.AdmissionBudget, over)
 		}
 	}
 

@@ -43,11 +43,11 @@ func TestBandAllows(t *testing.T) {
 		want     bool
 	}{
 		{ref: 10 * time.Millisecond, got: 10 * time.Millisecond, want: true},
-		{ref: 10 * time.Millisecond, got: 16 * time.Millisecond, want: true},  // 1.5x + 1ms
+		{ref: 10 * time.Millisecond, got: 16 * time.Millisecond, want: true}, // 1.5x + 1ms
 		{ref: 10 * time.Millisecond, got: 16100 * time.Microsecond, want: false},
 		{ref: 10 * time.Millisecond, got: 4 * time.Millisecond, want: true},
 		{ref: 10 * time.Millisecond, got: 3900 * time.Microsecond, want: false},
-		{ref: 0, got: time.Millisecond, want: true},             // abs floor
+		{ref: 0, got: time.Millisecond, want: true}, // abs floor
 		{ref: 0, got: 1100 * time.Microsecond, want: false},
 	}
 	for _, c := range cases {
@@ -129,8 +129,8 @@ func TestReservationAllows(t *testing.T) {
 		{0, 0, true}, {0, 1, true}, {0, 2, true}, {0, 3, true},
 		{1, 2, true}, {1, 3, true},
 		{1, 0, false}, {1, 1, false}, // long stealing a short core: never
-		{-1, 3, true},                // unknown on spillway
-		{-1, 0, false},               // unknown off spillway
+		{-1, 3, true},  // unknown on spillway
+		{-1, 0, false}, // unknown off spillway
 	}
 	for _, c := range cases {
 		sp := trace.Span{Type: c.typ, Worker: c.worker}

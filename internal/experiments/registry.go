@@ -36,6 +36,7 @@ var registry = map[string]Runner{
 	"ext-fanout":     ExtFanout,
 	"ext-autoscale":  ExtAutoscale,
 	"ext-fanout-sim": ExtFanoutSim,
+	"ext-overload":   ExtOverload,
 }
 
 // Names lists the registered artifacts in order.

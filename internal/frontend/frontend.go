@@ -16,10 +16,17 @@
 // consecutive timeouts (or reported crashed by internal/faults) stops
 // receiving sub-requests until a cooldown passes.
 //
+// Overloaded backends participate too: an admission NACK
+// (proto.StatusOverloaded) from a backend resolves the sub-request
+// immediately — it counts toward the backend's ejection streak like a
+// timeout would, and triggers an immediate hedge to a spare backend
+// (no point waiting out the hedge delay when the backend has already
+// refused the work).
+//
 // Accounting is exact: every issued sub-request transmission is
-// counted exactly once as replied, duplicate, or timed out, so after
-// a drain issued == replied + duplicates + timedOut (the conservation
-// invariant the tests and the fuzzer assert).
+// counted exactly once as replied, duplicate, timed out, or nacked,
+// so after a drain issued == replied + duplicates + timedOut + nacked
+// (the conservation invariant the tests and the fuzzer assert).
 package frontend
 
 import (
@@ -378,6 +385,10 @@ func (f *Frontend) processReply(b int, bc *backendConn, data []byte) {
 		return
 	}
 	now := time.Now()
+	if hdr.Status == proto.StatusOverloaded {
+		f.handleNack(b, hdr.RequestID, now)
+		return
+	}
 	ev := f.corr.reply(b, hdr.RequestID, now)
 	switch ev.kind {
 	case replyStray, replyDuplicate:
@@ -392,6 +403,42 @@ func (f *Frontend) processReply(b int, bc *backendConn, data []byte) {
 			// client with its payload.
 			f.finishQuery(ev.sub.q, hdr.Status, payload, now)
 		}
+	}
+}
+
+// handleNack resolves a backend admission NACK: the backend refused
+// the sub-request, so waiting out the hedge delay is pointless. The
+// refusal counts toward the backend's ejection streak exactly like a
+// timeout (a shedding backend should stop receiving primaries), and
+// the slot is re-issued immediately to a spare backend if it still
+// has its hedge available; otherwise it fails the way a reaped slot
+// would.
+func (f *Frontend) handleNack(b int, id uint64, now time.Time) {
+	ev := f.corr.nack(b, id)
+	if ev.stray {
+		return
+	}
+	f.health[b].timeout(now, f.cfg.EjectAfter, f.cfg.EjectCooldown)
+	if ev.hedge != nil {
+		order := *ev.hedge
+		if spare := f.pickSpare(order, now); spare >= 0 {
+			encode := f.encodeSub(nil, f.corr.issue(order.q, order.slot, spare, 1, now), order.q.typeID, order.payload, proto.Correlation{
+				QueryID: order.q.id, Shard: uint8(order.slot), Attempt: 1,
+			})
+			f.hedgesIssued.Add(1)
+			f.backends[spare].sent.Add(1)
+			f.backends[spare].send(encode)
+			return
+		}
+		// No spare to take the work: the slot's last transmission is
+		// gone, so fail it now rather than hang until the deadline.
+		if q := f.corr.failSlot(order.q, order.slot); q != nil {
+			f.finishQuery(q, proto.StatusError, nil, now)
+		}
+		return
+	}
+	if ev.finished != nil {
+		f.finishQuery(ev.finished, proto.StatusError, nil, now)
 	}
 }
 
@@ -585,9 +632,11 @@ type Stats struct {
 	// unanswered at the deadline, QueriesShed were rejected at intake
 	// (no healthy backend, or pooled buffers exhausted).
 	Queries, QueriesOK, QueriesFailed, QueriesShed uint64
-	// Sub-request accounting; at any quiescent point
-	// SubIssued == SubReplied + SubDuplicate + SubTimedOut + Pending.
-	SubIssued, SubReplied, SubDuplicate, SubTimedOut uint64
+	// Sub-request accounting; at any quiescent point SubIssued ==
+	// SubReplied + SubDuplicate + SubTimedOut + SubNacked + Pending.
+	// SubNacked counts transmissions a backend refused with an
+	// admission NACK (StatusOverloaded).
+	SubIssued, SubReplied, SubDuplicate, SubTimedOut, SubNacked uint64
 	// Strays are replies matching no pending entry.
 	Strays uint64
 	// Hedges counts hedge transmissions issued; HedgeWins those whose
@@ -609,7 +658,7 @@ type Stats struct {
 // SubUnaccounted reports issued sub-requests with no recorded outcome
 // and no pending entry; a correct frontend always reports 0.
 func (s Stats) SubUnaccounted() int64 {
-	return int64(s.SubIssued) - int64(s.SubReplied) - int64(s.SubDuplicate) - int64(s.SubTimedOut) - int64(s.Pending)
+	return int64(s.SubIssued) - int64(s.SubReplied) - int64(s.SubDuplicate) - int64(s.SubTimedOut) - int64(s.SubNacked) - int64(s.Pending)
 }
 
 // Stats snapshots the counters.
@@ -633,6 +682,7 @@ func (f *Frontend) Stats() Stats {
 		SubReplied:    f.corr.replied.Load(),
 		SubDuplicate:  f.corr.duplicate.Load(),
 		SubTimedOut:   f.corr.timedOut.Load(),
+		SubNacked:     f.corr.nacked.Load(),
 		Strays:        f.corr.strays.Load(),
 		Hedges:        f.hedgesIssued.Load(),
 		HedgeWins:     f.hedgeWins.Load(),

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/classify"
 	"repro/internal/faults"
 	"repro/internal/proto"
@@ -299,6 +300,82 @@ func TestFrontendCrashEjection(t *testing.T) {
 	st := fe.Stats()
 	if st.Ejections == 0 {
 		t.Fatalf("no ejections recorded: %+v", st)
+	}
+	assertConservation(t, st)
+}
+
+// TestFrontendNackImmediateHedge: backend 0 sheds everything with
+// admission NACKs, backend 1 is healthy. A NACKed primary must be
+// re-issued to the spare immediately — even with latency hedging
+// disabled — so every query still succeeds, and the NACK streak must
+// eject the shedding backend like a timeout streak would.
+func TestFrontendNackImmediateHedge(t *testing.T) {
+	h := &sleepHandler{serviceByType: []time.Duration{0, 0}}
+	shedSrv, err := psp.NewServer(psp.Config{
+		Workers:    1,
+		Classifier: classify.Field{Offset: 0, Types: 2},
+		Handler:    h,
+		Mode:       psp.ModeCFCFS,
+		Admission: &admission.Config{
+			Budgets: []time.Duration{time.Nanosecond, time.Nanosecond},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0, err := psp.ListenUDP("127.0.0.1:0", shedSrv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b0.Close() })
+	_, b1 := newBackend(t, 2, h, nil)
+
+	fe, err := Listen("127.0.0.1:0", Config{
+		Backends:      []string{b0.Addr().String(), b1.Addr().String()},
+		FanOut:        1,
+		QueryTimeout:  2 * time.Second,
+		Hedge:         false, // NACK re-issue must not depend on latency hedging
+		EjectCooldown: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := newQueryClient(t, fe)
+	const queries = 20
+	for i := uint64(1); i <= queries; i++ {
+		hdr, pl, _, _ := cl.call(t, i, typedPayload(0, "nack"), 2*time.Second)
+		if hdr.Status != proto.StatusOK {
+			t.Fatalf("query %d status = %v", i, hdr.Status)
+		}
+		if string(pl) != string(typedPayload(0, "nack")) {
+			t.Fatalf("query %d payload = %q", i, pl)
+		}
+	}
+	// The round-robin put roughly half the early primaries on the
+	// shedding backend; its NACK streak must have ejected it.
+	if fe.BackendHealthy(0) {
+		t.Fatal("shedding backend not ejected by NACK streak")
+	}
+	if err := fe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := fe.Stats()
+	if st.QueriesOK != queries {
+		t.Fatalf("ok=%d, want %d", st.QueriesOK, queries)
+	}
+	if st.SubNacked == 0 {
+		t.Fatalf("no NACKs recorded: %+v", st)
+	}
+	// Every NACK found the healthy spare: one hedge per NACK, and the
+	// hedge's reply settled the slot.
+	if st.Hedges != st.SubNacked {
+		t.Fatalf("hedges=%d nacked=%d, want equal", st.Hedges, st.SubNacked)
+	}
+	if st.HedgeWins != st.Hedges {
+		t.Fatalf("hedge wins=%d of %d", st.HedgeWins, st.Hedges)
+	}
+	if st.Ejections == 0 {
+		t.Fatalf("no ejection recorded: %+v", st)
 	}
 	assertConservation(t, st)
 }

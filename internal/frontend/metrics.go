@@ -29,12 +29,13 @@ func (f *Frontend) WriteMetrics(w io.Writer) error {
 	b.WriteString("# TYPE persephone_frontend_queries_shed_total counter\n")
 	fmt.Fprintf(&b, "persephone_frontend_queries_shed_total %d\n", st.QueriesShed)
 
-	b.WriteString("# HELP persephone_frontend_subrequests_total Sub-request transmissions by outcome (issued = replied + duplicate + timeout + pending).\n")
+	b.WriteString("# HELP persephone_frontend_subrequests_total Sub-request transmissions by outcome (issued = replied + duplicate + timeout + nacked + pending).\n")
 	b.WriteString("# TYPE persephone_frontend_subrequests_total counter\n")
 	fmt.Fprintf(&b, "persephone_frontend_subrequests_total{outcome=\"issued\"} %d\n", st.SubIssued)
 	fmt.Fprintf(&b, "persephone_frontend_subrequests_total{outcome=\"replied\"} %d\n", st.SubReplied)
 	fmt.Fprintf(&b, "persephone_frontend_subrequests_total{outcome=\"duplicate\"} %d\n", st.SubDuplicate)
 	fmt.Fprintf(&b, "persephone_frontend_subrequests_total{outcome=\"timeout\"} %d\n", st.SubTimedOut)
+	fmt.Fprintf(&b, "persephone_frontend_subrequests_total{outcome=\"nacked\"} %d\n", st.SubNacked)
 	b.WriteString("# HELP persephone_frontend_subrequests_pending Sub-requests currently awaiting a backend reply.\n")
 	b.WriteString("# TYPE persephone_frontend_subrequests_pending gauge\n")
 	fmt.Fprintf(&b, "persephone_frontend_subrequests_pending %d\n", st.Pending)

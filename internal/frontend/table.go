@@ -75,10 +75,10 @@ type backendTable struct {
 // correlator owns the per-backend pending tables and the sub-request
 // accounting. Counters satisfy, at any quiescent point,
 //
-//	issued == replied + duplicate + timedOut + len(all pending)
+//	issued == replied + duplicate + timedOut + nacked + len(all pending)
 //
-// so after a full drain issued == replied + duplicate + timedOut —
-// the sub-request conservation invariant.
+// so after a full drain issued == replied + duplicate + timedOut +
+// nacked — the sub-request conservation invariant.
 type correlator struct {
 	tables    []*backendTable
 	nextSub   atomic.Uint64
@@ -88,6 +88,7 @@ type correlator struct {
 	replied   atomic.Uint64 // settling replies (first reply for a slot)
 	duplicate atomic.Uint64 // suppressed replies: hedge losers, post-timeout stragglers
 	timedOut  atomic.Uint64 // pending entries reaped past their query deadline
+	nacked    atomic.Uint64 // transmissions the backend refused with an admission NACK
 	strays    atomic.Uint64 // replies matching no pending entry
 }
 
@@ -198,6 +199,101 @@ func (c *correlator) reply(backend int, id uint64, now time.Time) replyEvent {
 	c.replied.Add(1)
 	ev.kind = replySettled
 	return ev
+}
+
+// nackEvent reports what a backend admission NACK resolved to.
+type nackEvent struct {
+	// stray is true when the NACK matched no pending entry.
+	stray bool
+	// hedge, when non-nil, tells the caller to re-issue the slot to a
+	// spare backend immediately: the slot is open and was not yet
+	// hedged, and has been marked hedged (so it re-issues at most
+	// once). If no spare exists the caller must failSlot, or the slot
+	// — with no pending transmission left — would hang until the
+	// query deadline with nothing for the reaper to expire.
+	hedge *hedgeOrder
+	// finished, when non-nil, is the query this NACK just failed: the
+	// slot's last transmission was refused and no re-issue is allowed.
+	finished *query
+}
+
+// nack resolves an admission NACK for sub-request id from backend:
+// the backend has refused the transmission, so the pending entry is
+// removed (it will never be answered) and counted as nacked. Unlike
+// reply, a NACK never settles a slot; it either triggers an immediate
+// hedge (the overload analogue of the slow-request hedge) or, when the
+// slot already used its hedge, fails the slot the way a reap would.
+func (c *correlator) nack(backend int, id uint64) nackEvent {
+	if backend < 0 || backend >= len(c.tables) {
+		c.strays.Add(1)
+		return nackEvent{stray: true}
+	}
+	bt := c.tables[backend]
+	bt.mu.Lock()
+	sb, ok := bt.pending[id]
+	if ok {
+		delete(bt.pending, id)
+	}
+	bt.mu.Unlock()
+	if !ok {
+		c.strays.Add(1)
+		return nackEvent{stray: true}
+	}
+	c.nacked.Add(1)
+	q := sb.q
+	q.mu.Lock()
+	sl := &q.slots[sb.slot]
+	sl.outstanding--
+	if sl.settled || q.finished {
+		// The slot no longer needs this transmission (a hedge pair's
+		// other leg settled it); the NACK is fully accounted already.
+		q.mu.Unlock()
+		return nackEvent{}
+	}
+	if !sl.hedged {
+		sl.hedged = true
+		assigned := make([]int, 0, len(q.slots))
+		for i := range q.slots {
+			if q.slots[i].outstanding > 0 || q.slots[i].settled {
+				assigned = append(assigned, q.slots[i].primary)
+			}
+		}
+		payload := append([]byte(nil), q.payload...)
+		q.mu.Unlock()
+		return nackEvent{hedge: &hedgeOrder{q: q, slot: sb.slot, primary: sb.backend, assigned: assigned, payload: payload}}
+	}
+	if sl.outstanding == 0 {
+		// Both legs refused or expired: the slot fails, and with it
+		// possibly the query.
+		q.unsettled--
+		q.failed = true
+		if q.unsettled == 0 {
+			q.finished = true
+			q.mu.Unlock()
+			return nackEvent{finished: q}
+		}
+	}
+	q.mu.Unlock()
+	return nackEvent{}
+}
+
+// failSlot marks a slot with no outstanding transmissions as failed —
+// the no-spare-backend fallback after a NACK-triggered hedge could not
+// be placed. Returns the query when this slot's failure finished it.
+func (c *correlator) failSlot(q *query, slot int) *query {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	sl := &q.slots[slot]
+	if sl.settled || q.finished || sl.outstanding > 0 {
+		return nil
+	}
+	q.unsettled--
+	q.failed = true
+	if q.unsettled == 0 {
+		q.finished = true
+		return q
+	}
+	return nil
 }
 
 // reap removes every pending sub-request whose query deadline has

@@ -6,14 +6,14 @@ import (
 )
 
 // conservation asserts the correlator's core invariant at a quiescent
-// point: issued == replied + duplicate + timedOut + pending.
+// point: issued == replied + duplicate + timedOut + nacked + pending.
 func conservation(t *testing.T, c *correlator) {
 	t.Helper()
 	issued := c.issued.Load()
-	accounted := c.replied.Load() + c.duplicate.Load() + c.timedOut.Load() + uint64(c.pendingCount())
+	accounted := c.replied.Load() + c.duplicate.Load() + c.timedOut.Load() + c.nacked.Load() + uint64(c.pendingCount())
 	if issued != accounted {
-		t.Fatalf("conservation violated: issued=%d replied=%d duplicate=%d timedOut=%d pending=%d",
-			issued, c.replied.Load(), c.duplicate.Load(), c.timedOut.Load(), c.pendingCount())
+		t.Fatalf("conservation violated: issued=%d replied=%d duplicate=%d timedOut=%d nacked=%d pending=%d",
+			issued, c.replied.Load(), c.duplicate.Load(), c.timedOut.Load(), c.nacked.Load(), c.pendingCount())
 	}
 }
 
@@ -116,6 +116,109 @@ func TestCorrelatorReapFailsQuery(t *testing.T) {
 		t.Fatalf("timedOut = %d", c.timedOut.Load())
 	}
 	conservation(t, c)
+}
+
+func TestCorrelatorNackTriggersHedge(t *testing.T) {
+	c := newCorrelator(3)
+	now := time.Unix(0, 0)
+	q := c.newQuery(4, 0, nil, []byte("z"), 1, now, now.Add(time.Second))
+	primary := c.issue(q, 0, 0, 0, now)
+
+	ev := c.nack(0, primary)
+	if ev.stray || ev.finished != nil || ev.hedge == nil {
+		t.Fatalf("nack event: %+v", ev)
+	}
+	if ev.hedge.slot != 0 || ev.hedge.primary != 0 {
+		t.Fatalf("hedge order: %+v", ev.hedge)
+	}
+	if c.nacked.Load() != 1 {
+		t.Fatalf("nacked = %d", c.nacked.Load())
+	}
+	// The slot is marked hedged: a later scan must not hedge it again.
+	if again := c.hedgeScan(now.Add(time.Hour), func(int) time.Duration { return time.Millisecond }); len(again) != 0 {
+		t.Fatalf("NACKed slot hedged twice: %+v", again)
+	}
+	// The hedge replacement settles the query.
+	hedge := c.issue(q, 0, 2, 1, now)
+	if ev := c.reply(2, hedge, now.Add(time.Millisecond)); ev.kind != replySettled || !ev.queryDone {
+		t.Fatalf("hedge reply: %+v", ev)
+	}
+	conservation(t, c)
+}
+
+func TestCorrelatorDoubleNackFailsQuery(t *testing.T) {
+	c := newCorrelator(3)
+	now := time.Unix(0, 0)
+	q := c.newQuery(5, 0, nil, nil, 1, now, now.Add(time.Second))
+	primary := c.issue(q, 0, 0, 0, now)
+
+	ev := c.nack(0, primary)
+	if ev.hedge == nil {
+		t.Fatalf("first nack: %+v", ev)
+	}
+	hedge := c.issue(q, 0, 1, 1, now)
+	// The hedge is refused too: the slot has no re-issue left, so the
+	// query fails right here instead of hanging until the deadline.
+	ev = c.nack(1, hedge)
+	if ev.hedge != nil || ev.finished != q {
+		t.Fatalf("second nack: %+v", ev)
+	}
+	q.mu.Lock()
+	failed, done := q.failed, q.finished
+	q.mu.Unlock()
+	if !failed || !done {
+		t.Fatalf("failed=%v finished=%v", failed, done)
+	}
+	if c.nacked.Load() != 2 {
+		t.Fatalf("nacked = %d", c.nacked.Load())
+	}
+	conservation(t, c)
+}
+
+func TestCorrelatorFailSlot(t *testing.T) {
+	c := newCorrelator(2)
+	now := time.Unix(0, 0)
+	q := c.newQuery(6, 0, nil, nil, 2, now, now.Add(time.Second))
+	id0 := c.issue(q, 0, 0, 0, now)
+	id1 := c.issue(q, 1, 1, 0, now)
+
+	// Slot 0's NACK wants a hedge but no spare exists: failSlot settles
+	// its fate without finishing the still-live query.
+	if ev := c.nack(0, id0); ev.hedge == nil {
+		t.Fatalf("nack: %+v", ev)
+	}
+	if got := c.failSlot(q, 0); got != nil {
+		t.Fatalf("failSlot finished a query with open slots: %v", got)
+	}
+	// Slot 1 answers; its settling reply finishes the (failed) query.
+	ev := c.reply(1, id1, now.Add(time.Millisecond))
+	if ev.kind != replySettled || !ev.queryDone {
+		t.Fatalf("reply: %+v", ev)
+	}
+	q.mu.Lock()
+	failed := q.failed
+	q.mu.Unlock()
+	if !failed {
+		t.Fatal("query not marked failed after failSlot")
+	}
+	// Idempotent on a finished query.
+	if got := c.failSlot(q, 0); got != nil {
+		t.Fatalf("failSlot on finished query: %v", got)
+	}
+	conservation(t, c)
+}
+
+func TestCorrelatorNackStray(t *testing.T) {
+	c := newCorrelator(1)
+	if ev := c.nack(0, 999); !ev.stray {
+		t.Fatalf("unknown id: %+v", ev)
+	}
+	if ev := c.nack(-1, 1); !ev.stray {
+		t.Fatalf("out-of-range backend: %+v", ev)
+	}
+	if c.strays.Load() != 2 || c.nacked.Load() != 0 {
+		t.Fatalf("strays=%d nacked=%d", c.strays.Load(), c.nacked.Load())
+	}
 }
 
 func TestCorrelatorStray(t *testing.T) {
@@ -222,7 +325,7 @@ func FuzzCorrelationTable(f *testing.F) {
 			return b
 		}
 		for pos < len(data) {
-			switch next() % 5 {
+			switch next() % 6 {
 			case 0: // new query with k primaries
 				k := int(next())%backends + 1
 				q := c.newQuery(uint64(len(queries)), 0, nil, []byte{1, 2}, k, now, now.Add(100*time.Millisecond))
@@ -254,6 +357,23 @@ func FuzzCorrelationTable(f *testing.F) {
 					b := int(next()) % backends
 					subs = append(subs, issuedSub{id: c.issue(o.q, o.slot, b, 1, now), backend: b})
 				}
+			case 5: // admission NACK (maybe already resolved); the caller
+				// either places the immediate hedge or fails the slot
+				if len(subs) == 0 {
+					continue
+				}
+				s := subs[int(next())%len(subs)]
+				ev := c.nack(s.backend, s.id)
+				if ev.hedge != nil {
+					if spare := next(); spare%2 == 0 {
+						b := int(spare) % backends
+						subs = append(subs, issuedSub{id: c.issue(ev.hedge.q, ev.hedge.slot, b, 1, now), backend: b})
+					} else if q := c.failSlot(ev.hedge.q, ev.hedge.slot); q != nil {
+						finish(q)
+					}
+				} else if ev.finished != nil {
+					finish(ev.finished)
+				}
 			}
 		}
 		// Drain: everything still pending times out; queries finish.
@@ -265,10 +385,10 @@ func FuzzCorrelationTable(f *testing.F) {
 			t.Fatalf("pending entries leaked: %d", p)
 		}
 		issued := c.issued.Load()
-		accounted := c.replied.Load() + c.duplicate.Load() + c.timedOut.Load()
+		accounted := c.replied.Load() + c.duplicate.Load() + c.timedOut.Load() + c.nacked.Load()
 		if issued != accounted {
-			t.Fatalf("conservation violated after drain: issued=%d replied=%d duplicate=%d timedOut=%d",
-				issued, c.replied.Load(), c.duplicate.Load(), c.timedOut.Load())
+			t.Fatalf("conservation violated after drain: issued=%d replied=%d duplicate=%d timedOut=%d nacked=%d",
+				issued, c.replied.Load(), c.duplicate.Load(), c.timedOut.Load(), c.nacked.Load())
 		}
 		for _, q := range queries {
 			if done[q.id] != 1 {

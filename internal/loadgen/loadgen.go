@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/proto"
 	"repro/internal/psp"
 	"repro/internal/rng"
 	"repro/internal/workload"
@@ -117,6 +118,21 @@ func (c *Config) backoffFor(attempt int, jitter float64) time.Duration {
 	return b/2 + time.Duration(jitter*float64(b/2))
 }
 
+// retryDelay computes the pre-retry sleep: the capped exponential
+// backoff, raised to the server's retry-after hint (plus proportional
+// jitter, so backed-off clients still desynchronize) when an
+// admission NACK carried one.
+func (c *Config) retryDelay(attempt int, jitter float64, retryAfter time.Duration) time.Duration {
+	d := c.backoffFor(attempt, jitter)
+	if retryAfter > 0 {
+		hinted := retryAfter + time.Duration(jitter*float64(retryAfter)/2)
+		if hinted > d {
+			d = hinted
+		}
+	}
+	return d
+}
+
 // Result aggregates one run. Every sent request has exactly one
 // recorded outcome: Received, Dropped, or TimedOut (retries are extra
 // transmissions of the same request, not new requests).
@@ -128,7 +144,17 @@ type Result struct {
 	Retries  uint64 // retransmissions of already-sent requests
 	Errors   uint64 // submissions rejected (backpressure)
 	Hedged   uint64 // frontend mode: received queries with >= 1 hedge issued
-	Elapsed  time.Duration
+	// Nacked counts admission NACKs (StatusOverloaded responses)
+	// observed, informational: each NACKed request's final outcome is
+	// still exactly one of Received (a retry succeeded), Dropped
+	// (retry budget exhausted), or TimedOut, so the conservation
+	// identity is unchanged.
+	Nacked uint64
+	// DroppedByType breaks Dropped down by request type index (same
+	// indexing as Latency), for exact per-type shed conservation
+	// against the server's admission ledger.
+	DroppedByType []uint64
+	Elapsed       time.Duration
 	// Latency holds client-observed latency per type index, plus an
 	// aggregate in Overall. Latency is measured from the FIRST
 	// transmission of a request, so retries lengthen the recorded
@@ -152,11 +178,29 @@ func (r *Result) Unaccounted() int64 {
 }
 
 func newResult(types int) *Result {
-	res := &Result{Overall: &metrics.Histogram{}}
+	res := &Result{Overall: &metrics.Histogram{}, DroppedByType: make([]uint64, types)}
 	for i := 0; i < types; i++ {
 		res.Latency = append(res.Latency, &metrics.Histogram{})
 	}
 	return res
+}
+
+// dropCounter is the concurrent per-type drop tally the transports
+// accumulate into before publishing Result.DroppedByType.
+type dropCounter []atomic.Uint64
+
+func newDropCounter(types int) dropCounter { return make(dropCounter, types) }
+
+func (d dropCounter) add(typ int) {
+	if typ >= 0 && typ < len(d) {
+		d[typ].Add(1)
+	}
+}
+
+func (d dropCounter) publish(res *Result) {
+	for i := range d {
+		res.DroppedByType[i] = d[i].Load()
+	}
 }
 
 // RunInProcess generates load against an in-process psp.Server.
@@ -169,7 +213,8 @@ func RunInProcess(srv *psp.Server, cfg Config) (*Result, error) {
 	res := newResult(len(cfg.Mix.Types))
 	var mu sync.Mutex // guards the histograms and jitterRNG
 	var wg sync.WaitGroup
-	var sent, received, dropped, timedOut, retries, errs atomic.Uint64
+	var sent, received, dropped, timedOut, retries, errs, nacked atomic.Uint64
+	dbt := newDropCounter(len(cfg.Mix.Types))
 
 	start := time.Now()
 	next := start
@@ -206,10 +251,16 @@ func RunInProcess(srv *psp.Server, cfg Config) (*Result, error) {
 					resp = <-ch
 				}
 				if resp.Status != 0 {
-					// Shed by flow control or a crashed worker: back off
-					// and resubmit, up to the retry budget.
+					// Shed by flow control, admission control, or a
+					// crashed worker: back off and resubmit, up to the
+					// retry budget. Admission NACKs carry a retry-after
+					// hint the backoff honors.
+					if resp.Status == proto.StatusOverloaded {
+						nacked.Add(1)
+					}
 					if attempt >= cfg.MaxRetries {
 						dropped.Add(1)
+						dbt.add(typ)
 						return
 					}
 					attempt++
@@ -217,10 +268,11 @@ func RunInProcess(srv *psp.Server, cfg Config) (*Result, error) {
 					mu.Lock()
 					j := jitterRNG.Float64()
 					mu.Unlock()
-					time.Sleep(cfg.backoffFor(attempt, j))
+					time.Sleep(cfg.retryDelay(attempt, j, resp.RetryAfter))
 					rch, err := srv.Submit(payload)
 					if err != nil {
 						dropped.Add(1)
+						dbt.add(typ)
 						return
 					}
 					ch = rch
@@ -245,6 +297,8 @@ func RunInProcess(srv *psp.Server, cfg Config) (*Result, error) {
 	res.TimedOut = timedOut.Load()
 	res.Retries = retries.Load()
 	res.Errors = errs.Load()
+	res.Nacked = nacked.Load()
+	dbt.publish(res)
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
@@ -277,7 +331,7 @@ func waitTimeout(wg *sync.WaitGroup, d time.Duration) bool {
 
 // String summarises a result for logs.
 func (r *Result) String() string {
-	return fmt.Sprintf("loadgen{sent=%d recv=%d drop=%d timeout=%d retry=%d err=%d rate=%.0f/s p99=%v}",
-		r.Sent, r.Received, r.Dropped, r.TimedOut, r.Retries, r.Errors, r.AchievedRate(),
+	return fmt.Sprintf("loadgen{sent=%d recv=%d drop=%d timeout=%d retry=%d nack=%d err=%d rate=%.0f/s p99=%v}",
+		r.Sent, r.Received, r.Dropped, r.TimedOut, r.Retries, r.Nacked, r.Errors, r.AchievedRate(),
 		r.Overall.QuantileDuration(0.99))
 }

@@ -1,0 +1,83 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/psp"
+)
+
+// Transport names for RunConfig.Transport.
+const (
+	TransportInProcess = "inprocess"
+	TransportUDP       = "udp"
+	TransportTCP       = "tcp"
+	TransportFrontend  = "frontend"
+)
+
+// RunConfig is the unified load-generation entry point: one Config plus
+// a transport selector, replacing the three divergent RunInProcess /
+// RunUDP / RunTCP signatures.
+type RunConfig struct {
+	Config
+
+	// Transport selects the datapath: "inprocess" (the default when a
+	// Server is set), "udp", "tcp", or "frontend". Frontend is the UDP
+	// datapath pointed at a fan-out frontend, which makes responses
+	// carry correlation trailers (Result.Hedged).
+	Transport string
+
+	// Addr is the target address for the network transports. The UDP
+	// transports accept a comma-separated shard list
+	// ("host:9940,host:9941").
+	Addr string
+
+	// Server is the in-process target; required for (and only used by)
+	// the inprocess transport.
+	Server *psp.Server
+}
+
+// Run generates load according to rc. It validates the
+// transport/target pairing up front so misconfigurations fail fast
+// instead of timing out.
+func Run(rc RunConfig) (*Result, error) {
+	transport := strings.ToLower(strings.TrimSpace(rc.Transport))
+	if transport == "" {
+		if rc.Server != nil {
+			transport = TransportInProcess
+		} else {
+			return nil, errors.New("loadgen: RunConfig needs a Transport (or a Server for the in-process default)")
+		}
+	}
+	switch transport {
+	case TransportInProcess:
+		if rc.Server == nil {
+			return nil, errors.New("loadgen: inprocess transport needs RunConfig.Server")
+		}
+		if rc.Addr != "" {
+			return nil, errors.New("loadgen: inprocess transport takes no Addr")
+		}
+		return RunInProcess(rc.Server, rc.Config)
+	case TransportUDP, TransportFrontend:
+		if rc.Addr == "" {
+			return nil, fmt.Errorf("loadgen: %s transport needs RunConfig.Addr", transport)
+		}
+		if rc.Server != nil {
+			return nil, fmt.Errorf("loadgen: %s transport takes no Server", transport)
+		}
+		cfg := rc.Config
+		cfg.Frontend = transport == TransportFrontend
+		return RunUDPAddrs(strings.Split(rc.Addr, ","), cfg)
+	case TransportTCP:
+		if rc.Addr == "" {
+			return nil, errors.New("loadgen: tcp transport needs RunConfig.Addr")
+		}
+		if rc.Server != nil {
+			return nil, errors.New("loadgen: tcp transport takes no Server")
+		}
+		return RunTCP(rc.Addr, rc.Config)
+	default:
+		return nil, fmt.Errorf("loadgen: unknown transport %q (want inprocess, udp, tcp, or frontend)", rc.Transport)
+	}
+}

@@ -57,7 +57,8 @@ func RunTCP(serverAddr string, cfg Config) (*Result, error) {
 	res := newResult(len(cfg.Mix.Types))
 	var mu sync.Mutex // guards the histograms and jitterRNG
 	var wg sync.WaitGroup
-	var sent, received, dropped, timedOut, retries atomic.Uint64
+	var sent, received, dropped, timedOut, retries, nacked atomic.Uint64
+	dbt := newDropCounter(len(cfg.Mix.Types))
 	sems := make([]chan struct{}, conns)
 	for i := range sems {
 		sems[i] = make(chan struct{}, pipeline)
@@ -86,9 +87,26 @@ func RunTCP(serverAddr string, cfg Config) (*Result, error) {
 			for {
 				resp, err := clients[li].Call(payload)
 				switch {
-				case errors.Is(err, psp.ErrCallTimeout):
+				case errors.Is(err, psp.ErrDeadlineExceeded):
 					timedOut.Add(1)
 					return
+				case errors.Is(err, psp.ErrOverloaded):
+					// Admission NACK: the stream is healthy, the server
+					// shed this request. Honor its retry-after hint with
+					// jittered backoff, up to the retry budget.
+					nacked.Add(1)
+					if attempt >= cfg.MaxRetries {
+						dropped.Add(1)
+						dbt.add(typ)
+						return
+					}
+					attempt++
+					retries.Add(1)
+					mu.Lock()
+					j := jitterRNG.Float64()
+					mu.Unlock()
+					time.Sleep(cfg.retryDelay(attempt, j, resp.RetryAfter))
+					continue
 				case err != nil:
 					// Connection died with the call in flight: the request
 					// never received a response.
@@ -99,6 +117,7 @@ func RunTCP(serverAddr string, cfg Config) (*Result, error) {
 					// the retry budget.
 					if attempt >= cfg.MaxRetries {
 						dropped.Add(1)
+						dbt.add(typ)
 						return
 					}
 					attempt++
@@ -125,6 +144,8 @@ func RunTCP(serverAddr string, cfg Config) (*Result, error) {
 	res.Dropped = dropped.Load()
 	res.TimedOut = timedOut.Load()
 	res.Retries = retries.Load()
+	res.Nacked = nacked.Load()
+	dbt.publish(res)
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

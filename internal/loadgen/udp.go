@@ -62,7 +62,8 @@ func RunUDPAddrs(addrs []string, cfg Config) (*Result, error) {
 	res := newResult(len(cfg.Mix.Types))
 	var mu sync.Mutex
 	inflight := make(map[uint64]*pendingReq)
-	var received, dropped, timedOut, retries, hedged atomic.Uint64
+	var received, dropped, timedOut, retries, hedged, nacked atomic.Uint64
+	dbt := newDropCounter(len(cfg.Mix.Types))
 
 	// Receivers, one per shard socket: match responses to sends.
 	// Responses to requests already expired (or duplicate responses)
@@ -91,8 +92,25 @@ func RunUDPAddrs(addrs []string, cfg Config) (*Result, error) {
 				if !ok {
 					continue
 				}
+				if h.Status == proto.StatusOverloaded && cfg.RequestTimeout > 0 && rec.attempts < cfg.MaxRetries {
+					// Admission NACK with retry budget left: re-arm the
+					// record so the retransmitter re-sends it once the
+					// server's retry-after hint (jittered) elapses.
+					// Latency keeps running from the first send.
+					nacked.Add(1)
+					ra, _ := proto.DecodeRetryAfter(buf[:n], h)
+					mu.Lock()
+					rec.deadline = time.Now().Add(cfg.retryDelay(rec.attempts+1, jitterRNG.Float64(), ra))
+					inflight[h.RequestID] = rec
+					mu.Unlock()
+					continue
+				}
 				if h.Status != proto.StatusOK {
+					if h.Status == proto.StatusOverloaded {
+						nacked.Add(1)
+					}
 					dropped.Add(1)
+					dbt.add(rec.typ)
 					continue
 				}
 				if cfg.Frontend {
@@ -230,6 +248,8 @@ func RunUDPAddrs(addrs []string, cfg Config) (*Result, error) {
 	res.TimedOut = timedOut.Load() + uint64(lost)
 	res.Retries = retries.Load()
 	res.Hedged = hedged.Load()
+	res.Nacked = nacked.Load()
+	dbt.publish(res)
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

@@ -41,6 +41,13 @@ const (
 	StatusDropped Status = 1
 	// StatusError marks an application processing failure.
 	StatusError Status = 2
+	// StatusOverloaded marks a request shed by admission control: the
+	// request's queue delay exceeded its type's admission budget, or
+	// the dispatcher trimmed queues in reverse-reservation order under
+	// sustained overload. Responses with this status carry no payload
+	// and usually a retry-after trailer telling the client how long to
+	// back off before retrying.
+	StatusOverloaded Status = 3
 )
 
 // Header is the fixed message prefix.
@@ -162,6 +169,42 @@ func AppendTiming(dst []byte, t Timing) []byte {
 	return append(dst, buf[:]...)
 }
 
+// RetryAfterMagic guards the optional retry-after trailer admission
+// NACKs (StatusOverloaded responses) carry.
+const RetryAfterMagic uint16 = 0x7252
+
+// RetryAfterSize is the trailer length: magic + delay_ns.
+const RetryAfterSize = 10
+
+// AppendRetryAfter appends the retry-after trailer to an encoded
+// message. In the canonical response layout it sits after the timing
+// trailer and before any correlation trailer.
+func AppendRetryAfter(dst []byte, d time.Duration) []byte {
+	var buf [RetryAfterSize]byte
+	binary.LittleEndian.PutUint16(buf[0:2], RetryAfterMagic)
+	binary.LittleEndian.PutUint64(buf[2:10], uint64(d))
+	return append(dst, buf[:]...)
+}
+
+// DecodeRetryAfter extracts the retry-after trailer from a full
+// message whose decoded header is h. A timing trailer, if present, is
+// skipped first. ok is false when no retry-after trailer is present.
+func DecodeRetryAfter(buf []byte, h Header) (time.Duration, bool) {
+	off := HeaderSize + int(h.PayloadLen)
+	if len(buf) >= off+TimingSize &&
+		binary.LittleEndian.Uint16(buf[off:off+2]) == TimingMagic {
+		off += TimingSize
+	}
+	if len(buf) < off+RetryAfterSize {
+		return 0, false
+	}
+	tail := buf[off:]
+	if binary.LittleEndian.Uint16(tail[0:2]) != RetryAfterMagic {
+		return 0, false
+	}
+	return time.Duration(binary.LittleEndian.Uint64(tail[2:10])), true
+}
+
 // CorrelationMagic guards the optional correlation trailer the
 // fan-out frontend appends after the payload.
 const CorrelationMagic uint16 = 0x7146
@@ -202,14 +245,19 @@ func AppendCorrelation(dst []byte, c Correlation) []byte {
 }
 
 // DecodeCorrelation extracts the correlation trailer from a full
-// message whose decoded header is h. A timing trailer, if present,
-// is skipped first (responses carry timing before correlation). ok is
-// false when no correlation trailer is present.
+// message whose decoded header is h. Timing and retry-after trailers,
+// if present, are skipped first (responses carry timing, then
+// retry-after, then correlation). ok is false when no correlation
+// trailer is present.
 func DecodeCorrelation(buf []byte, h Header) (Correlation, bool) {
 	off := HeaderSize + int(h.PayloadLen)
 	if len(buf) >= off+TimingSize &&
 		binary.LittleEndian.Uint16(buf[off:off+2]) == TimingMagic {
 		off += TimingSize
+	}
+	if len(buf) >= off+RetryAfterSize &&
+		binary.LittleEndian.Uint16(buf[off:off+2]) == RetryAfterMagic {
+		off += RetryAfterSize
 	}
 	if len(buf) < off+CorrelationSize {
 		return Correlation{}, false

@@ -1,0 +1,22 @@
+package psp
+
+import "errors"
+
+// Sentinel errors forming the runtime's error contract. The facade
+// re-exports them; match with errors.Is, never by message.
+var (
+	// ErrOverloaded means admission control shed the request (deadline
+	// budget exceeded or reverse-reservation overload trim). Calls
+	// that return it also return the Response, whose RetryAfter field
+	// carries the server's backoff hint.
+	ErrOverloaded = errors.New("psp: overloaded, request shed by admission control")
+	// ErrDeadlineExceeded means a client-side per-call deadline
+	// elapsed before the response arrived.
+	ErrDeadlineExceeded = errors.New("psp: call deadline exceeded")
+	// ErrPoolExhausted means a bounded resource pool (the ingress
+	// ring, or a transport's pooled network buffers) had no free slot;
+	// the request was refused before entering the pipeline.
+	ErrPoolExhausted = errors.New("psp: resource pool exhausted")
+	// ErrServerStopped means the server is shut down.
+	ErrServerStopped = errors.New("psp: server stopped")
+)

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"repro/internal/admission"
 )
 
 // WriteMetrics renders the server's counters and per-type latency
@@ -53,6 +55,9 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 
 	if t := s.tcpSrv.Load(); t != nil {
 		writeTCPMetrics(&b, t)
+	}
+	if st.Admission != nil {
+		s.writeAdmissionMetrics(&b, st.Admission)
 	}
 
 	b.WriteString("# HELP persephone_trace_spans_total Lifecycle spans drained from worker trace rings.\n")
@@ -128,6 +133,48 @@ func writeTCPMetrics(b *strings.Builder, t *TCPServer) {
 	fmt.Fprintf(b, "persephone_tcp_pipeline_depth_bucket{le=\"+Inf\"} %d\n", cum)
 	fmt.Fprintf(b, "persephone_tcp_pipeline_depth_sum %d\n", t.depthSum.Load())
 	fmt.Fprintf(b, "persephone_tcp_pipeline_depth_count %d\n", t.depthCount.Load())
+}
+
+// writeAdmissionMetrics renders the persephone_admission_* families:
+// the per-type shed ledger (whose per-type identity accepted ==
+// completed + shed is exact once drained), the effective budgets, and
+// the overload detector's state. The final slot is the
+// unknown/unclassified type.
+func (s *Server) writeAdmissionMetrics(b *strings.Builder, st *admission.Stats) {
+	names := append(s.rec.TypeNames(), "unknown")
+	b.WriteString("# HELP persephone_admission_accepted_total Requests entered into the admission ledger, per type.\n")
+	b.WriteString("# TYPE persephone_admission_accepted_total counter\n")
+	for i, slot := range st.Slots {
+		fmt.Fprintf(b, "persephone_admission_accepted_total{type=%q} %d\n", sanitizeLabel(names[i]), slot.Accepted)
+	}
+	b.WriteString("# HELP persephone_admission_completed_total Admitted requests completed by workers, per type.\n")
+	b.WriteString("# TYPE persephone_admission_completed_total counter\n")
+	for i, slot := range st.Slots {
+		fmt.Fprintf(b, "persephone_admission_completed_total{type=%q} %d\n", sanitizeLabel(names[i]), slot.Completed)
+	}
+	b.WriteString("# HELP persephone_admission_shed_total Requests refused by admission control, per type and reason (deadline: own budget exceeded; overload: reverse-reservation trim or full queue; lost: crash/shutdown).\n")
+	b.WriteString("# TYPE persephone_admission_shed_total counter\n")
+	for i, slot := range st.Slots {
+		name := sanitizeLabel(names[i])
+		fmt.Fprintf(b, "persephone_admission_shed_total{type=%q,reason=\"deadline\"} %d\n", name, slot.ShedDeadline)
+		fmt.Fprintf(b, "persephone_admission_shed_total{type=%q,reason=\"overload\"} %d\n", name, slot.ShedOverload)
+		fmt.Fprintf(b, "persephone_admission_shed_total{type=%q,reason=\"lost\"} %d\n", name, slot.ShedLost)
+	}
+	b.WriteString("# HELP persephone_admission_budget_ns Effective admission budget per type (0 = no budget yet), in nanoseconds.\n")
+	b.WriteString("# TYPE persephone_admission_budget_ns gauge\n")
+	for i := range st.Slots {
+		fmt.Fprintf(b, "persephone_admission_budget_ns{type=%q} %d\n", sanitizeLabel(names[i]), s.adm.CachedBudget(i).Nanoseconds())
+	}
+	b.WriteString("# HELP persephone_admission_queue_delay_ewma_ns Smoothed dispatch queue delay driving the overload detector, in nanoseconds.\n")
+	b.WriteString("# TYPE persephone_admission_queue_delay_ewma_ns gauge\n")
+	fmt.Fprintf(b, "persephone_admission_queue_delay_ewma_ns %d\n", st.QueueDelayEWMA.Nanoseconds())
+	b.WriteString("# HELP persephone_admission_overloaded Whether the dispatcher currently sheds in reverse-reservation order (1 = overloaded).\n")
+	b.WriteString("# TYPE persephone_admission_overloaded gauge\n")
+	overloaded := 0
+	if st.Overloaded {
+		overloaded = 1
+	}
+	fmt.Fprintf(b, "persephone_admission_overloaded %d\n", overloaded)
 }
 
 func sanitizeLabel(s string) string {

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/classify"
 	"repro/internal/darc"
 	"repro/internal/faults"
@@ -131,6 +132,15 @@ func TestWriteMetricsGolden(t *testing.T) {
 		}),
 		DARC:   darc.DefaultConfig(2),
 		Faults: &faults.Profile{Seed: 1, DropRate: 1},
+		// Deterministic admission state: type0 carries an explicit 2ms
+		// budget, type1 stays unprofiled (budget 0), the unknown slot
+		// auto-derives to the 2ms maximum. Alpha 1/2 makes the EWMA
+		// arithmetic exact in float64.
+		Admission: &admission.Config{
+			Budgets:       []time.Duration{2 * time.Millisecond, 0},
+			OverloadDelay: time.Millisecond,
+			EWMAAlpha:     0.5,
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -164,6 +174,31 @@ func TestWriteMetricsGolden(t *testing.T) {
 		}
 	}
 	srv.traceLost.Add(1)
+
+	// Hand-plant the admission ledger: type0 sheds on both deadline
+	// and overload, type1 completes cleanly, the unknown slot loses
+	// one to a simulated crash. The EWMA lands exactly on 2ms
+	// (0 -> 1ms -> 2ms with alpha 1/2), above the 1ms threshold, so
+	// the overloaded gauge pins at 1.
+	for i := 0; i < 20; i++ {
+		srv.adm.NoteAccepted(0)
+	}
+	for i := 0; i < 17; i++ {
+		srv.adm.NoteCompleted(0)
+	}
+	srv.adm.NoteShed(0, admission.ShedDeadline)
+	srv.adm.NoteShed(0, admission.ShedDeadline)
+	srv.adm.NoteShed(0, admission.ShedOverload)
+	for i := 0; i < 5; i++ {
+		srv.adm.NoteAccepted(1)
+		srv.adm.NoteCompleted(1)
+	}
+	srv.adm.NoteAccepted(-1)
+	srv.adm.NoteAccepted(-1)
+	srv.adm.NoteShed(-1, admission.ShedOverload)
+	srv.adm.NoteShed(-1, admission.ShedLost)
+	srv.adm.ObserveQueueDelay(2 * time.Millisecond)
+	srv.adm.ObserveQueueDelay(3 * time.Millisecond)
 
 	// Hand-plant the TCP transport families: two shards' ingress
 	// counters, connection lifecycle, and pipeline-depth samples at

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/classify"
 	"repro/internal/darc"
 	"repro/internal/faults"
@@ -80,6 +81,11 @@ type Response struct {
 	QueueDelay time.Duration
 	// Service is the measured handler execution time (0 for drops).
 	Service time.Duration
+	// RetryAfter is the admission controller's backoff hint, set only
+	// on StatusOverloaded NACKs. The network responders serialize it
+	// as a retry-after trailer; clients back off at least this long
+	// before retrying.
+	RetryAfter time.Duration
 }
 
 // Request is the unit flowing through the pipeline.
@@ -105,6 +111,12 @@ type Request struct {
 	classified time.Duration
 	enqueued   time.Duration
 	dispatched time.Duration
+
+	// admitted marks a request the admission controller has counted as
+	// accepted; the drop path books such requests as shed-lost so the
+	// per-type conservation identity stays exact under crashes and
+	// shutdown drains.
+	admitted bool
 }
 
 // Handler executes application logic for a request. Implementations
@@ -161,6 +173,14 @@ type Config struct {
 	// threads). Only useful when the host has at least Workers+2
 	// cores; on oversubscribed machines it hurts.
 	PinThreads bool
+	// Admission enables the deadline-aware overload controller: per
+	// request type an admission budget (explicit or auto-derived from
+	// the DARC profiler's service-time estimates) bounds queue delay,
+	// with budget violations shed at enqueue and dispatch, and
+	// sustained overload trimming queues in reverse-reservation order.
+	// Nil disables admission control entirely (legacy behaviour:
+	// queues grow to QueueCap and overflow is answered StatusDropped).
+	Admission *admission.Config
 	// Faults optionally injects infrastructure misbehaviour — ingress
 	// packet drop/duplication, worker stalls, slowdowns and
 	// crash-respawns, delayed reservation updates — for chaos testing.
@@ -181,6 +201,7 @@ type Config struct {
 type Server struct {
 	cfg      Config
 	ctl      *darc.Controller
+	adm      *admission.Controller // nil when admission is disabled
 	ingress  *spsc.MPSC[*Request]
 	rings    []*spsc.Ring[*Request]
 	compRing *spsc.MPSC[completion]
@@ -296,9 +317,14 @@ func NewServer(cfg Config) (*Server, error) {
 		}
 		inj = faults.New(*cfg.Faults, cfg.Workers)
 	}
+	var adm *admission.Controller
+	if cfg.Admission != nil {
+		adm = admission.New(*cfg.Admission, numTypes, ctl.MeanService)
+	}
 	s := &Server{
 		cfg:      cfg,
 		ctl:      ctl,
+		adm:      adm,
 		inj:      inj,
 		ingress:  spsc.NewMPSC[*Request](cfg.IngressCap),
 		compRing: spsc.NewMPSC[completion](cfg.IngressCap),
@@ -383,6 +409,10 @@ func (s *Server) Controller() *darc.Controller { return s.ctl }
 // configured; the nil injector injects nothing).
 func (s *Server) Injector() *faults.Injector { return s.inj }
 
+// Admission exposes the admission controller (nil when admission
+// control is disabled).
+func (s *Server) Admission() *admission.Controller { return s.adm }
+
 // noteRetry counts a client retransmission observed at ingress
 // (requests whose header carries a non-zero attempt number).
 func (s *Server) noteRetry() { s.retriesSeen.Add(1) }
@@ -395,7 +425,7 @@ func (s *Server) now() time.Duration { return time.Since(s.start) }
 // ingress ring is full (open-loop backpressure).
 func (s *Server) Submit(payload []byte) (<-chan Response, error) {
 	if s.stopped.Load() {
-		return nil, errors.New("psp: server stopped")
+		return nil, ErrServerStopped
 	}
 	ch := make(chan Response, 1)
 	r := &Request{
@@ -411,18 +441,24 @@ func (s *Server) Submit(payload []byte) (<-chan Response, error) {
 		},
 	}
 	if !s.ingress.TryPut(r) {
-		return nil, errors.New("psp: ingress ring full")
+		return nil, fmt.Errorf("psp: ingress ring full: %w", ErrPoolExhausted)
 	}
 	return ch, nil
 }
 
-// Call is Submit plus waiting for the response.
+// Call is Submit plus waiting for the response. A response shed by
+// admission control is returned alongside ErrOverloaded (the Response
+// still carries the RetryAfter hint).
 func (s *Server) Call(payload []byte) (Response, error) {
 	ch, err := s.Submit(payload)
 	if err != nil {
 		return Response{}, err
 	}
-	return <-ch, nil
+	resp := <-ch
+	if resp.Status == proto.StatusOverloaded {
+		return resp, ErrOverloaded
+	}
+	return resp, nil
 }
 
 // injectBatch places a burst of externally built requests on the
@@ -467,6 +503,9 @@ func (s *Server) dispatcherLoop() {
 				continue
 			}
 			s.ctl.Observe(c.typ, c.service)
+			if s.adm != nil {
+				s.adm.NoteCompleted(c.typ)
+			}
 			if s.cfg.Mode == ModeDARC {
 				s.maybeUpdateReservation()
 			}
@@ -482,6 +521,14 @@ func (s *Server) dispatcherLoop() {
 			r.typ = s.cfg.Classifier.Classify(r.payload)
 			r.classified = s.now()
 			s.enqueue(r)
+		}
+		// 2b. Sustained overload (queue-delay EWMA above threshold):
+		// shed queued work in reverse-reservation order — the unknown
+		// spillway first, then typed queues from the longest profiled
+		// mean down to the shortest — so short-type reservations are
+		// the last thing sacrificed (DESIGN.md §9).
+		if s.adm != nil && s.adm.Overloaded() && s.shedOverloaded() {
+			progress = true
 		}
 		// 3. Dispatch.
 		if s.dispatch() {
@@ -533,6 +580,19 @@ func (s *Server) maybeUpdateReservation() {
 }
 
 func (s *Server) enqueue(r *Request) {
+	if s.adm != nil {
+		// Every classified request enters the admission ledger before
+		// any check can refuse it, so the per-type identity
+		// accepted == completed + shed_deadline + shed_overload (+ lost)
+		// is exact by construction.
+		s.adm.NoteAccepted(r.typ)
+		r.admitted = true
+		if waited := s.now() - r.arrival; s.adm.ExceedsBudget(r.typ, waited) {
+			s.adm.ObserveQueueDelay(waited)
+			s.shed(r, admission.ShedDeadline)
+			return
+		}
+	}
 	q := &s.unknown
 	if s.cfg.Mode == ModeDFCFS {
 		// d-FCFS steers each arrival to one worker's private queue,
@@ -543,6 +603,13 @@ func (s *Server) enqueue(r *Request) {
 	}
 	r.enqueued = s.now()
 	if !q.push(r) {
+		if s.adm != nil {
+			// With admission enabled a full queue is an overload
+			// signal, not a silent drop: the client gets a NACK with a
+			// retry-after hint instead of StatusDropped.
+			s.shed(r, admission.ShedOverload)
+			return
+		}
 		s.drop(r)
 		return
 	}
@@ -562,7 +629,84 @@ func (s *Server) steerNext() int {
 	return int(x % uint64(len(s.workerQ)))
 }
 
+// shed refuses a request under admission control: the submitter gets
+// a typed NACK (StatusOverloaded) carrying the controller's
+// retry-after hint, and the refusal is booked under its reason.
+// Sheds are intentionally not counted in the legacy dropped counter
+// or the recorder's drop families — they are a distinct, accounted
+// outcome with their own persephone_admission_* metrics.
+func (s *Server) shed(r *Request, reason admission.ShedReason) {
+	s.adm.NoteShed(r.typ, reason)
+	if r.respond != nil {
+		r.respond(Response{
+			RequestID:  r.id,
+			Type:       r.typ,
+			Status:     proto.StatusOverloaded,
+			RetryAfter: s.adm.RetryAfter(),
+		})
+	}
+	if r.buf != nil {
+		r.buf.Release()
+	}
+}
+
+// shedOverloaded is the reverse-reservation overload trim: drain the
+// unknown spillway entirely, then cut each typed queue — longest
+// profiled mean first — down to the backlog its admission budget can
+// absorb. Short types (the head of DispatchOrder) are trimmed last
+// and always keep at least one queued request. d-FCFS worker queues
+// are exempt (deadline shedding still applies at dispatch): with
+// per-worker steering there is no central queue whose order encodes
+// reservations to protect.
+func (s *Server) shedOverloaded() bool {
+	shedAny := false
+	for r := s.unknown.pop(); r != nil; r = s.unknown.pop() {
+		s.shed(r, admission.ShedOverload)
+		shedAny = true
+	}
+	order := s.ctl.DispatchOrder() // ascending profiled mean
+	for i := len(order) - 1; i >= 0; i-- {
+		t := order[i]
+		q := &s.queues[t]
+		keep := s.adm.BacklogCap(t)
+		for q.count > keep {
+			s.shed(q.pop(), admission.ShedOverload)
+			shedAny = true
+		}
+	}
+	return shedAny
+}
+
+// popAdmit pops the next request from q for dispatch, shedding heads
+// whose queue delay has outrun their admission budget while they
+// waited. Returns the first admissible request (nil if the queue
+// drained) and whether anything was shed.
+func (s *Server) popAdmit(q *reqFIFO) (*Request, bool) {
+	shedAny := false
+	for {
+		r := q.pop()
+		if r == nil {
+			return nil, shedAny
+		}
+		if s.adm != nil {
+			if waited := s.now() - r.arrival; s.adm.ExceedsBudget(r.typ, waited) {
+				s.adm.ObserveQueueDelay(waited)
+				s.shed(r, admission.ShedDeadline)
+				shedAny = true
+				continue
+			}
+		}
+		return r, shedAny
+	}
+}
+
 func (s *Server) drop(r *Request) {
+	if r.admitted {
+		// An accepted request that dies without a worker completion
+		// (crash, shutdown drain) still closes its admission ledger
+		// entry, as shed-lost.
+		s.adm.NoteShed(r.typ, admission.ShedLost)
+	}
 	s.mu.Lock()
 	s.dropped++
 	s.rec.Drop(r.typ, r.arrival)
@@ -614,7 +758,14 @@ func (s *Server) dispatchDFCFS() bool {
 		if !f || s.workerQ[w].empty() {
 			continue
 		}
-		s.handoff(w, s.workerQ[w].pop())
+		r, shedAny := s.popAdmit(&s.workerQ[w])
+		if shedAny {
+			moved = true
+		}
+		if r == nil {
+			continue
+		}
+		s.handoff(w, r)
 		moved = true
 	}
 	return moved
@@ -639,13 +790,26 @@ func (s *Server) dispatchDARCStatic() bool {
 		if w < 0 {
 			continue
 		}
-		s.handoff(w, q.pop())
+		r, shedAny := s.popAdmit(q)
+		if shedAny {
+			moved = true
+		}
+		if r == nil {
+			continue
+		}
+		s.handoff(w, r)
 		moved = true
 	}
 	if !s.unknown.empty() {
 		if w := s.firstFreeFrom(s.cfg.StaticReserved); w >= 0 {
-			s.handoff(w, s.unknown.pop())
-			moved = true
+			r, shedAny := s.popAdmit(&s.unknown)
+			if shedAny {
+				moved = true
+			}
+			if r != nil {
+				s.handoff(w, r)
+				moved = true
+			}
 		}
 	}
 	return moved
@@ -686,7 +850,11 @@ func (s *Server) dispatchFCFS() bool {
 	if q == nil {
 		return false
 	}
-	s.handoff(w, q.pop())
+	r, shedAny := s.popAdmit(q)
+	if r == nil {
+		return shedAny
+	}
+	s.handoff(w, r)
 	return true
 }
 
@@ -702,7 +870,14 @@ func (s *Server) dispatchDARC() bool {
 		if w < 0 {
 			continue
 		}
-		s.handoff(w, q.pop())
+		r, shedAny := s.popAdmit(q)
+		if shedAny {
+			moved = true
+		}
+		if r == nil {
+			continue
+		}
+		s.handoff(w, r)
 		moved = true
 	}
 	if !s.unknown.empty() {
@@ -716,8 +891,14 @@ func (s *Server) dispatchDARC() bool {
 			w = s.anyFree()
 		}
 		if w >= 0 {
-			s.handoff(w, s.unknown.pop())
-			moved = true
+			r, shedAny := s.popAdmit(&s.unknown)
+			if shedAny {
+				moved = true
+			}
+			if r != nil {
+				s.handoff(w, r)
+				moved = true
+			}
 		}
 	}
 	return moved
@@ -748,7 +929,11 @@ func (s *Server) firstFree(reserved, stealable []int) int {
 
 func (s *Server) handoff(w int, r *Request) {
 	r.dispatched = s.now()
-	s.ctl.NoteQueueDelay(r.typ, r.dispatched-r.arrival)
+	delay := r.dispatched - r.arrival
+	s.ctl.NoteQueueDelay(r.typ, delay)
+	if s.adm != nil {
+		s.adm.ObserveQueueDelay(delay)
+	}
 	s.free[w] = false
 	s.mu.Lock()
 	s.dispatched++
@@ -896,6 +1081,10 @@ type Stats struct {
 	// TraceLost counts spans dropped because a worker's trace ring was
 	// full between drains.
 	TraceLost uint64
+	// Admission is the admission controller's ledger snapshot (nil
+	// when admission control is disabled). Slots[NumTypes] is the
+	// unknown/unclassified slot.
+	Admission *admission.Stats
 	Summaries []metrics.Summary
 }
 
@@ -904,9 +1093,15 @@ type Stats struct {
 func (s *Server) StatsSnapshot() Stats {
 	s.FlushTrace()
 	spans, lost := s.traceCounts()
+	var adm *admission.Stats
+	if s.adm != nil {
+		snap := s.adm.Snapshot()
+		adm = &snap
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
+		Admission:      adm,
 		Enqueued:       s.enqueued,
 		Dispatched:     s.dispatched,
 		Dropped:        s.dropped,

@@ -686,6 +686,9 @@ func (c *tcpConn) responder(req *Request, reqID uint64, corr proto.Correlation, 
 		}
 		tm := proto.Timing{Queue: resp.QueueDelay, Service: resp.Service}
 		need := tcpLenPrefixSize + proto.ResponseOverhead + len(resp.Payload)
+		if resp.RetryAfter > 0 {
+			need += proto.RetryAfterSize
+		}
 		if hasCorr {
 			need += proto.CorrelationSize
 		}
@@ -696,6 +699,9 @@ func (c *tcpConn) responder(req *Request, reqID uint64, corr proto.Correlation, 
 			// buffer to the pool once the frame is on the wire.
 			req.buf = nil
 			msg := proto.AppendResponse(b.Data[:tcpLenPrefixSize], hdr, resp.Payload, tm)
+			if resp.RetryAfter > 0 {
+				msg = proto.AppendRetryAfter(msg, resp.RetryAfter)
+			}
 			if hasCorr {
 				msg = proto.AppendCorrelation(msg, corr)
 			}
@@ -704,6 +710,9 @@ func (c *tcpConn) responder(req *Request, reqID uint64, corr proto.Correlation, 
 			frame = tcpTxFrame{buf: b}
 		} else {
 			msg := proto.AppendResponse(make([]byte, tcpLenPrefixSize, need), hdr, resp.Payload, tm)
+			if resp.RetryAfter > 0 {
+				msg = proto.AppendRetryAfter(msg, resp.RetryAfter)
+			}
 			if hasCorr {
 				msg = proto.AppendCorrelation(msg, corr)
 			}

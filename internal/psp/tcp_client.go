@@ -88,7 +88,10 @@ var (
 	ErrClientClosed = errors.New("psp: tcp client closed")
 	// ErrCallTimeout means the per-call deadline elapsed; the pending
 	// entry has been swept.
-	ErrCallTimeout = errors.New("psp: tcp call timed out")
+	//
+	// Deprecated: ErrCallTimeout is the same error value as
+	// ErrDeadlineExceeded; match against that instead.
+	ErrCallTimeout = ErrDeadlineExceeded
 )
 
 // TCPClient is a pipelined client for the TCP transport: any number of
@@ -161,19 +164,28 @@ func (c *TCPClient) Call(payload []byte) (Response, error) {
 			// response arrived; every pending entry was swept.
 			return Response{}, ErrClientClosed
 		}
-		return resp, nil
+		return resp, respErr(resp)
 	case <-timeout:
 		c.sweep(id)
 		// The response may have raced the sweep; prefer it.
 		select {
 		case resp, ok := <-ch:
 			if ok {
-				return resp, nil
+				return resp, respErr(resp)
 			}
 		default:
 		}
-		return Response{}, ErrCallTimeout
+		return Response{}, ErrDeadlineExceeded
 	}
+}
+
+// respErr maps an admission NACK to its sentinel; the Response is
+// still returned so callers see the RetryAfter hint.
+func respErr(resp Response) error {
+	if resp.Status == proto.StatusOverloaded {
+		return ErrOverloaded
+	}
+	return nil
 }
 
 // sweep removes one pending entry (timeout or write failure), so
@@ -236,6 +248,9 @@ func (c *TCPClient) deliver(frame []byte) error {
 	if tm, ok := proto.DecodeTiming(frame, hdr); ok {
 		resp.QueueDelay = tm.Queue
 		resp.Service = tm.Service
+	}
+	if ra, ok := proto.DecodeRetryAfter(frame, hdr); ok {
+		resp.RetryAfter = ra
 	}
 	ch <- resp
 	return nil

@@ -337,6 +337,9 @@ func (sh *udpShard) responder(req *Request, reqID uint64, addr *net.UDPAddr, cor
 		}
 		tm := proto.Timing{Queue: resp.QueueDelay, Service: resp.Service}
 		need := proto.ResponseOverhead + len(resp.Payload)
+		if resp.RetryAfter > 0 {
+			need += proto.RetryAfterSize
+		}
 		if hasCorr {
 			need += proto.CorrelationSize
 		}
@@ -346,6 +349,9 @@ func (sh *udpShard) responder(req *Request, reqID uint64, addr *net.UDPAddr, cor
 			// buffer to the pool after the frame is on the wire.
 			req.buf = nil
 			msg := proto.AppendResponse(b.Data[:0], hdr, resp.Payload, tm)
+			if resp.RetryAfter > 0 {
+				msg = proto.AppendRetryAfter(msg, resp.RetryAfter)
+			}
 			if hasCorr {
 				msg = proto.AppendCorrelation(msg, corr)
 			}
@@ -360,6 +366,9 @@ func (sh *udpShard) responder(req *Request, reqID uint64, addr *net.UDPAddr, cor
 			return
 		}
 		msg := proto.AppendResponse(make([]byte, 0, need), hdr, resp.Payload, tm)
+		if resp.RetryAfter > 0 {
+			msg = proto.AppendRetryAfter(msg, resp.RetryAfter)
+		}
 		if hasCorr {
 			msg = proto.AppendCorrelation(msg, corr)
 		}

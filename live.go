@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/classify"
 	"repro/internal/darc"
 	"repro/internal/faults"
@@ -63,13 +64,44 @@ const (
 	StatusOK      = proto.StatusOK
 	StatusDropped = proto.StatusDropped
 	StatusError   = proto.StatusError
+	// StatusOverloaded is the admission-control NACK: the server shed
+	// the request before running it and the response carries a
+	// retry-after hint (Response.RetryAfter).
+	StatusOverloaded = proto.StatusOverloaded
 )
+
+// Sentinel errors of the live runtime's error contract; match with
+// errors.Is. See the package documentation for when each is returned.
+var (
+	// ErrOverloaded: the server shed the request via admission control.
+	// TCPClient.Call returns it alongside the NACK response, whose
+	// RetryAfter field hints when to retry.
+	ErrOverloaded = psp.ErrOverloaded
+	// ErrDeadlineExceeded: a client-side wait elapsed before the
+	// response arrived.
+	ErrDeadlineExceeded = psp.ErrDeadlineExceeded
+	// ErrPoolExhausted: a bounded resource (ingress ring, buffer pool)
+	// had no capacity to accept the request.
+	ErrPoolExhausted = psp.ErrPoolExhausted
+)
+
+// AdmissionPolicy configures the live server's deadline-aware
+// admission controller (see internal/admission): per-type queueing
+// budgets — explicit, or auto-derived as a multiple of DARC's profiled
+// service times — plus the sustained-overload shedding behavior.
+// The zero value auto-derives everything.
+type AdmissionPolicy = admission.Config
+
+// AdmissionStats is the admission controller's ledger snapshot,
+// surfaced on LiveStats.Admission. Per slot (one per type plus one for
+// unclassifiable requests) accepted == completed + shed exactly at any
+// quiescent point.
+type AdmissionStats = admission.Stats
 
 // LiveConfig assembles a live server. It is the one public
 // configuration path for the live runtime: NewLiveServerStopped
 // translates it into a ready-to-start pipeline, and every constructor
-// (NewLiveServer, Listen, and the deprecated ServeUDP) goes through
-// that translation.
+// (NewLiveServer and Listen) goes through that translation.
 type LiveConfig struct {
 	// Workers is the number of application worker goroutines.
 	Workers int
@@ -106,6 +138,13 @@ type LiveConfig struct {
 	// neither delivered a byte nor had a response in flight for this
 	// long; 0 disables idle eviction. Ignored off the TCP path.
 	TCPIdleTimeout time.Duration
+	// Admission optionally enables deadline-aware admission control
+	// and overload management: requests whose queueing delay exceeds
+	// their type's budget are answered with StatusOverloaded (plus a
+	// retry-after hint) instead of occupying workers, and sustained
+	// overload sheds in reverse-reservation order so short-request
+	// tails stay bounded. Nil disables admission control.
+	Admission *AdmissionPolicy
 	// Faults optionally enables the chaos layer with the given fault
 	// profile (see internal/faults); nil injects nothing.
 	Faults *FaultProfile
@@ -166,6 +205,7 @@ func NewLiveServerStopped(cfg LiveConfig) (*LiveServer, error) {
 		Mode:       mode,
 		DARC:       dcfg,
 		QueueCap:   cfg.QueueCap,
+		Admission:  cfg.Admission,
 		Faults:     cfg.Faults,
 		TraceCap:   cfg.TraceCap,
 		TraceSink:  cfg.TraceSink,
@@ -268,8 +308,8 @@ func (l *LiveListener) Addrs() []net.Addr {
 }
 
 // AddrStrings reports Addrs formatted as a comma-separated list — the
-// form loadgen.RunUDP and psp-client accept for client-side shard
-// selection.
+// form RunLoad's udp transport and psp-client accept for client-side
+// shard selection.
 func (l *LiveListener) AddrStrings() string {
 	addrs := l.Addrs()
 	parts := make([]string, len(addrs))
@@ -321,21 +361,6 @@ func (l *LiveListener) Close() error {
 	return l.tcp.Close()
 }
 
-// ServeUDP exposes a live server over UDP.
-//
-// Deprecated: use Listen("udp", addr, cfg), which also honours
-// cfg.NetShards/cfg.RxBurst and returns the unified LiveListener.
-func ServeUDP(addr string, cfg LiveConfig) (*psp.UDPServer, error) {
-	srv, err := NewLiveServerStopped(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return psp.ListenUDPShards(addr, srv, psp.UDPOptions{
-		Shards: cfg.NetShards,
-		Burst:  cfg.RxBurst,
-	})
-}
-
 // DialTCP connects a pipelined client to a Listen("tcp", ...) server:
 // any number of goroutines may Call concurrently over the one
 // connection, and responses are matched back by request ID in whatever
@@ -346,26 +371,53 @@ func DialTCP(addr string) (*psp.TCPClient, error) { return psp.DialTCP(addr) }
 // server.
 type LoadConfig = loadgen.Config
 
+// LoadRunConfig is the unified load-generation entry point: a
+// LoadConfig plus the transport selection ("inprocess", "udp", "tcp",
+// or "frontend") and its target (Server or Addr).
+type LoadRunConfig = loadgen.RunConfig
+
+// Transport names for LoadRunConfig.Transport.
+const (
+	LoadTransportInProcess = loadgen.TransportInProcess
+	LoadTransportUDP       = loadgen.TransportUDP
+	LoadTransportTCP       = loadgen.TransportTCP
+	LoadTransportFrontend  = loadgen.TransportFrontend
+)
+
 // LoadResult summarises a load generation run.
 type LoadResult = loadgen.Result
 
+// RunLoad runs the open-loop Poisson client against the target named
+// by rc — the one load-generation entry point across all transports.
+// Admission NACKs (StatusOverloaded) are retried with the server's
+// retry-after hint plus jittered backoff, up to rc.MaxRetries.
+func RunLoad(rc LoadRunConfig) (*LoadResult, error) {
+	return loadgen.Run(rc)
+}
+
 // GenerateLoad runs the open-loop Poisson client against an in-process
 // live server.
+//
+// Deprecated: use RunLoad with a LoadRunConfig naming the Server.
 func GenerateLoad(srv *LiveServer, cfg LoadConfig) (*LoadResult, error) {
-	return loadgen.RunInProcess(srv, cfg)
+	return loadgen.Run(loadgen.RunConfig{Config: cfg, Transport: loadgen.TransportInProcess, Server: srv})
 }
 
 // GenerateLoadUDP runs the open-loop Poisson client against a UDP
 // server address.
+//
+// Deprecated: use RunLoad with Transport "udp".
 func GenerateLoadUDP(addr string, cfg LoadConfig) (*LoadResult, error) {
-	return loadgen.RunUDP(addr, cfg)
+	return loadgen.Run(loadgen.RunConfig{Config: cfg, Transport: loadgen.TransportUDP, Addr: addr})
 }
 
 // GenerateLoadTCP runs the open-loop Poisson client against a TCP
 // server address over cfg.Conns pipelined connections with up to
 // cfg.Pipeline requests in flight on each.
+//
+// Deprecated: use RunLoad with Transport "tcp".
 func GenerateLoadTCP(addr string, cfg LoadConfig) (*LoadResult, error) {
-	return loadgen.RunTCP(addr, cfg)
+	return loadgen.Run(loadgen.RunConfig{Config: cfg, Transport: loadgen.TransportTCP, Addr: addr})
 }
 
 // Timeout helper so examples don't import time for one constant.

@@ -433,20 +433,6 @@ func darcAutoPolicy(workers, numTypes int, rate float64, dur time.Duration, over
 	}
 }
 
-// ParsePolicy resolves a policy name directly into a constructor
-// bound to the given machine shape; see ParsePolicySpec for the name
-// grammar.
-//
-// Deprecated: use ParsePolicySpec and PolicySpec.Constructor, which
-// separate the string grammar from the machine binding.
-func ParsePolicy(name string, workers int, mix Mix, seed uint64) (func() cluster.Policy, error) {
-	spec, err := ParsePolicySpec(name)
-	if err != nil {
-		return nil, err
-	}
-	return spec.Constructor(workers, mix, seed)
-}
-
 // ExperimentOptions tunes RunExperiment; zero value uses defaults (1s
 // per load point, the paper's load grid).
 type ExperimentOptions = experiments.Options

@@ -95,7 +95,7 @@ func TestExperimentNamesComplete(t *testing.T) {
 	names := persephone.ExperimentNames()
 	want := []string{
 		"ablation-delta", "ablation-dispatcher", "ablation-stealing",
-		"ext-autoscale", "ext-burst", "ext-fanout", "ext-fanout-sim", "ext-variance",
+		"ext-autoscale", "ext-burst", "ext-fanout", "ext-fanout-sim", "ext-overload", "ext-variance",
 		"figure1", "figure10", "figure3", "figure4", "figure5a",
 		"figure5b", "figure6", "figure7", "figure8", "figure9",
 		"table1", "table3", "table4", "table5",

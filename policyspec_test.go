@@ -135,18 +135,25 @@ func TestPolicySpecConstructorValidation(t *testing.T) {
 	}
 }
 
-// TestParsePolicyCompat: the deprecated one-shot helper must keep
-// working — same successes, same failures — since released CLIs and
-// examples still call it.
-func TestParsePolicyCompat(t *testing.T) {
+// TestParsePolicySpecConstructor: the two-step parse-then-bind path —
+// same successes, same failures as the old one-shot helper.
+func TestParsePolicySpecConstructor(t *testing.T) {
 	mix := persephone.HighBimodal()
-	if _, err := persephone.ParsePolicy("darc-static:2", 4, mix, 1); err != nil {
+	parse := func(name string, workers int) error {
+		spec, err := persephone.ParsePolicySpec(name)
+		if err != nil {
+			return err
+		}
+		_, err = spec.Constructor(workers, mix, 1)
+		return err
+	}
+	if err := parse("darc-static:2", 4); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := persephone.ParsePolicy("darc-static:9", 4, mix, 1); err == nil {
+	if err := parse("darc-static:9", 4); err == nil {
 		t.Fatal("out-of-range reservation accepted")
 	}
-	if _, err := persephone.ParsePolicy("nope", 4, mix, 1); err == nil {
+	if err := parse("nope", 4); err == nil {
 		t.Fatal("unknown policy accepted")
 	}
 }
