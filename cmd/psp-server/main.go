@@ -8,14 +8,21 @@
 //   - tpcc: the five TPC-C transactions over the in-memory database.
 //
 // Requests carry their type in the first two payload bytes (little
-// endian), matching cmd/psp-client. Stop with Ctrl-C; a stats summary
-// prints on shutdown.
+// endian), matching cmd/psp-client. Stop with Ctrl-C or SIGTERM
+// (handled identically): the transport closes, in-flight requests
+// drain, and the shutdown ledger prints — the same sequence for UDP
+// and TCP. With -reconfig-file, SIGHUP re-reads the file and applies
+// it live (policy swap, worker resize, admission budgets) without
+// dropping in-flight requests; -metrics-addr additionally exposes
+// POST /admin/reconfig and GET /admin/config for the same specs over
+// HTTP.
 package main
 
 import (
 	"encoding/binary"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -45,6 +52,7 @@ func main() {
 	admSpec := flag.String("admission", "", `per-type queue-delay budgets enabling admission control, e.g. "3ms,50ms" (zero/missing entries auto-derive from the DARC profile; over-budget requests are NACKed with a retry-after hint)`)
 	admTrim := flag.Duration("admission-trim", 0, "sustained-overload trim threshold for -admission (0 = auto: half the smallest budget)")
 	traceOut := flag.String("trace-out", "", "dump completed-request lifecycle spans to this CSV file (replayable via psp-trace/psp-sim)")
+	reconfigFile := flag.String("reconfig-file", "", `reconfiguration spec file re-read and applied on SIGHUP (key=value lines, e.g. "policy=cfcfs\nworkers=6"; see /admin/reconfig for the vocabulary)`)
 	flag.Parse()
 
 	cfg, err := buildApp(*app, *workloadName, *workers, *cfcfs)
@@ -135,12 +143,14 @@ func main() {
 		}()
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	awaitShutdown(ln.Server(), *reconfigFile)
 
-	st := ln.Server().StatsSnapshot()
-	ln.Close()
+	// Close the transport BEFORE snapshotting: Close answers everything
+	// already accepted (the TCP path drains connections gracefully), so
+	// the ledger below includes requests that complete during the drain
+	// — the same sequence, and the same printed summary, for UDP and
+	// TCP.
+	st := closeAndSnapshot(ln)
 	close(stopFlush)
 	flushWG.Wait()
 	if spanW != nil {
@@ -153,21 +163,78 @@ func main() {
 			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
 		}
 		fmt.Printf("wrote %d lifecycle spans to %s (lost %d to full rings)\n",
-			spanW.Count(), *traceOut, ln.Server().StatsSnapshot().TraceLost)
+			spanW.Count(), *traceOut, st.TraceLost)
 	}
-	fmt.Printf("\nenqueued %d  dispatched %d  dropped %d  reservation updates %d  rx drops %d  rx sheds %d\n",
-		st.Enqueued, st.Dispatched, st.Dropped, st.Updates, ln.RxDrops(), ln.RxSheds())
+	printShutdownSummary(os.Stdout, st, ln.RxDrops(), ln.RxSheds())
+}
+
+// awaitShutdown blocks until SIGINT or SIGTERM — the two are handled
+// identically. When reconfigFile is non-empty, SIGHUP re-reads it and
+// applies the parsed spec to the live server without dropping
+// in-flight requests.
+func awaitShutdown(srv *persephone.LiveServer, reconfigFile string) {
+	sig := make(chan os.Signal, 2)
+	notify := []os.Signal{os.Interrupt, syscall.SIGTERM}
+	if reconfigFile != "" {
+		notify = append(notify, syscall.SIGHUP)
+	}
+	signal.Notify(sig, notify...)
+	defer signal.Stop(sig)
+	for s := range sig {
+		if s != syscall.SIGHUP {
+			return
+		}
+		applyReconfigFile(srv, reconfigFile, os.Stdout, os.Stderr)
+	}
+}
+
+// applyReconfigFile reloads path and applies it to the live server.
+// Errors are reported, never fatal: a bad reload must not take the
+// server down.
+func applyReconfigFile(srv *persephone.LiveServer, path string, out, errw io.Writer) {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(errw, "reconfig: %v\n", err)
+		return
+	}
+	spec, err := persephone.ParseReconfigSpec(string(text))
+	if err != nil {
+		fmt.Fprintf(errw, "reconfig %s: %v\n", path, err)
+		return
+	}
+	res, err := srv.Reconfigure(spec)
+	if err != nil {
+		fmt.Fprintf(errw, "reconfig %s: %v\n", path, err)
+		return
+	}
+	fmt.Fprintf(out, "reconfig gen %d: %s\n", res.Generation, strings.Join(res.Applied, "; "))
+}
+
+// closeAndSnapshot stops the transport and the server — answering
+// everything already accepted — and only then snapshots the final
+// counters, so the shutdown ledger accounts for requests completed
+// during the graceful drain. One code path for both transports.
+func closeAndSnapshot(ln *persephone.LiveListener) persephone.LiveStats {
+	ln.Close()
+	return ln.Server().StatsSnapshot()
+}
+
+// printShutdownSummary renders the shutdown ledger in the one format
+// shared by the UDP and TCP transports.
+func printShutdownSummary(w io.Writer, st persephone.LiveStats, rxDrops, rxSheds uint64) {
+	fmt.Fprintf(w, "\nenqueued %d  dispatched %d  dropped %d  reservation updates %d  rx drops %d  rx sheds %d\n",
+		st.Enqueued, st.Dispatched, st.Dropped, st.Updates, rxDrops, rxSheds)
 	if st.FaultsInjected > 0 || st.RetriesSeen > 0 {
-		fmt.Printf("faults injected %d  worker restarts %d  client retries seen %d\n",
+		fmt.Fprintf(w, "faults injected %d  worker restarts %d  client retries seen %d\n",
 			st.FaultsInjected, st.WorkerRestarts, st.RetriesSeen)
 	}
 	if st.Admission != nil {
 		tot := st.Admission.Totals()
-		fmt.Printf("admission: accepted %d  completed %d  shed %d (deadline %d  overload %d  lost %d)\n",
+		fmt.Fprintf(w, "admission: accepted %d  completed %d  shed %d (deadline %d  overload %d  lost %d)\n",
 			tot.Accepted, tot.Completed, tot.Shed(), tot.ShedDeadline, tot.ShedOverload, tot.ShedLost)
 	}
 	for _, row := range st.Summaries {
-		fmt.Printf("  %-10s n=%-8d p50=%-12v p999=%-12v slowdown999=%.1fx\n",
+		fmt.Fprintf(w, "  %-10s n=%-8d p50=%-12v p999=%-12v slowdown999=%.1fx\n",
 			row.Name, row.Completed, row.P50, row.P999, row.Slowdown999)
 	}
 }

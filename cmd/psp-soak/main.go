@@ -1,0 +1,97 @@
+// psp-soak runs the invariant-checked chaos soak harness: seeded
+// randomized reconfigurations (policy swaps, worker resizes, admission
+// changes, DARC refreshes) interleaved with fault injection against a
+// live in-process server, with every conservation ledger asserted.
+// Exit status 1 means at least one seed observed an invariant
+// violation.
+//
+// Usage:
+//
+//	psp-soak -seeds 1,2,3 -reconfigs 100 -workers 4 -faults
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/soak"
+)
+
+func main() {
+	var (
+		seedsFlag = flag.String("seeds", "1,2,3", "comma-separated soak seeds (one run per seed)")
+		reconfigs = flag.Int("reconfigs", 100, "reconfigurations per seed")
+		workers   = flag.Int("workers", 4, "initial worker-pool size")
+		maxW      = flag.Int("max-workers", 0, "resize ceiling (0 = 2x workers)")
+		subs      = flag.Int("submitters", 3, "closed-loop load goroutines")
+		epoch     = flag.Duration("epoch", 4*time.Millisecond, "load-soak time between reconfigurations")
+		drain     = flag.Duration("drain", 2*time.Second, "per-shrink drain deadline (exceeding it is a violation)")
+		faults    = flag.Bool("faults", true, "inject chaos (worker crashes, stalls, slowdowns, laggy reservations)")
+		verbose   = flag.Bool("v", false, "log per-epoch progress")
+	)
+	flag.Parse()
+
+	seeds, err := parseSeeds(*seedsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	failed := 0
+	for _, seed := range seeds {
+		cfg := soak.Config{
+			Seed:          seed,
+			Reconfigs:     *reconfigs,
+			Workers:       *workers,
+			MaxWorkers:    *maxW,
+			Submitters:    *subs,
+			Epoch:         *epoch,
+			DrainDeadline: *drain,
+			Faults:        *faults,
+		}
+		if *verbose {
+			cfg.Logf = func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			}
+		}
+		rep, err := soak.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seed %d: %v\n", seed, err)
+			os.Exit(2)
+		}
+		fmt.Println(rep.Summary())
+		for _, v := range rep.Violations {
+			fmt.Printf("  VIOLATION: %s\n", v)
+		}
+		if !rep.OK() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("%d of %d seeds FAILED\n", failed, len(seeds))
+		os.Exit(1)
+	}
+	fmt.Printf("all %d seeds clean\n", len(seeds))
+}
+
+func parseSeeds(s string) ([]uint64, error) {
+	var seeds []uint64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.ParseUint(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("psp-soak: bad seed %q: %v", part, err)
+		}
+		seeds = append(seeds, n)
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("psp-soak: no seeds given")
+	}
+	return seeds, nil
+}

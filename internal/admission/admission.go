@@ -120,6 +120,12 @@ type Controller struct {
 	budgetNs      []atomic.Int64 // per slot, last = unknown
 	threshNs      atomic.Int64   // overload threshold
 	threshRefresh int            // dispatcher-only countdown
+
+	// explicitNs holds the operator-declared budgets (0 = auto),
+	// per slot with the unknown budget last. Atomic, not plain Config
+	// fields, because live reconfiguration replaces budgets while the
+	// metrics exporter reads CachedBudget from another goroutine.
+	explicitNs []atomic.Int64
 }
 
 // New builds a controller for numTypes request types. meanOf reports
@@ -127,16 +133,28 @@ type Controller struct {
 // unprofiled); it backs auto-derived budgets and backlog caps.
 func New(cfg Config, numTypes int, meanOf func(int) time.Duration) *Controller {
 	c := &Controller{
-		cfg:      cfg,
 		numTypes: numTypes,
 		meanOf:   meanOf,
 		slots:    make([]slotStats, numTypes+1),
-		alpha:    cfg.EWMAAlpha,
-		autoMult: cfg.AutoMult,
-		minB:     cfg.MinBudget,
-		raMin:    cfg.RetryAfterMin,
-		raMax:    cfg.RetryAfterMax,
 	}
+	c.budgetNs = make([]atomic.Int64, numTypes+1)
+	c.explicitNs = make([]atomic.Int64, numTypes+1)
+	c.applyConfig(cfg)
+	// Seed the cross-goroutine threshold before the dispatcher runs
+	// (construction happens before any concurrent Observe).
+	c.threshNs.Store(int64(c.overloadDelay()))
+	return c
+}
+
+// applyConfig installs cfg's derived policy knobs and the explicit
+// budget mirrors. Called from New and (dispatcher-only) from Update.
+func (c *Controller) applyConfig(cfg Config) {
+	c.cfg = cfg
+	c.alpha = cfg.EWMAAlpha
+	c.autoMult = cfg.AutoMult
+	c.minB = cfg.MinBudget
+	c.raMin = cfg.RetryAfterMin
+	c.raMax = cfg.RetryAfterMax
 	if c.alpha <= 0 || c.alpha > 1 {
 		c.alpha = DefaultEWMAAlpha
 	}
@@ -155,11 +173,40 @@ func New(cfg Config, numTypes int, meanOf func(int) time.Duration) *Controller {
 	if c.raMax < c.raMin {
 		c.raMax = c.raMin
 	}
-	c.budgetNs = make([]atomic.Int64, numTypes+1)
-	// Seed the cross-goroutine threshold before the dispatcher runs
-	// (construction happens before any concurrent Observe).
+	for t := 0; t < c.numTypes; t++ {
+		var b time.Duration
+		if t < len(cfg.Budgets) && cfg.Budgets[t] > 0 {
+			b = cfg.Budgets[t]
+		}
+		c.explicitNs[t].Store(int64(b))
+	}
+	var ub time.Duration
+	if cfg.UnknownBudget > 0 {
+		ub = cfg.UnknownBudget
+	}
+	c.explicitNs[c.numTypes].Store(int64(ub))
+}
+
+// Update replaces the admission policy at runtime. Dispatcher-only,
+// like every mutating method: the live reconfiguration path applies it
+// from the scheduling loop between requests, so budget checks never
+// observe a half-installed policy. The ledger (accepted/completed/
+// shed counters) is preserved — conservation identities span the
+// update.
+func (c *Controller) Update(cfg Config) {
+	c.applyConfig(cfg)
+	c.threshRefresh = 0 // next ObserveQueueDelay refreshes the mirror
 	c.threshNs.Store(int64(c.overloadDelay()))
-	return c
+}
+
+// Config returns the controller's current declared policy
+// (dispatcher-only: Update replaces it concurrently otherwise).
+func (c *Controller) Config() Config { return c.cfg }
+
+// OverloadThreshold reports the current sustained-overload trim
+// threshold from its atomic mirror; safe from any goroutine.
+func (c *Controller) OverloadThreshold() time.Duration {
+	return time.Duration(c.threshNs.Load())
 }
 
 // NumTypes reports the typed slot count (the unknown slot is extra).
@@ -187,8 +234,8 @@ func (c *Controller) Budget(typ int) time.Duration {
 		c.budgetNs[c.numTypes].Store(int64(b))
 		return b
 	}
-	if typ < len(c.cfg.Budgets) && c.cfg.Budgets[typ] > 0 {
-		return c.cfg.Budgets[typ]
+	if b := time.Duration(c.explicitNs[typ].Load()); b > 0 {
+		return b
 	}
 	mean := c.meanOf(typ)
 	if mean <= 0 {
@@ -210,12 +257,8 @@ func (c *Controller) CachedBudget(i int) time.Duration {
 	if i < 0 || i > c.numTypes {
 		return 0
 	}
-	if i < c.numTypes {
-		if i < len(c.cfg.Budgets) && c.cfg.Budgets[i] > 0 {
-			return c.cfg.Budgets[i]
-		}
-	} else if c.cfg.UnknownBudget > 0 {
-		return c.cfg.UnknownBudget
+	if b := time.Duration(c.explicitNs[i].Load()); b > 0 {
+		return b
 	}
 	return time.Duration(c.budgetNs[i].Load())
 }
@@ -223,8 +266,8 @@ func (c *Controller) CachedBudget(i int) time.Duration {
 // unknownBudget is the explicit UnknownBudget, else the largest typed
 // budget currently in effect.
 func (c *Controller) unknownBudget() time.Duration {
-	if c.cfg.UnknownBudget > 0 {
-		return c.cfg.UnknownBudget
+	if b := time.Duration(c.explicitNs[c.numTypes].Load()); b > 0 {
+		return b
 	}
 	var max time.Duration
 	for t := 0; t < c.numTypes; t++ {

@@ -1,6 +1,7 @@
 package admission
 
 import (
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -180,5 +181,94 @@ func TestCountersConservation(t *testing.T) {
 	}
 	if st.Slots[2].ShedOverload != 1 {
 		t.Fatalf("unknown slot overload sheds: got %d, want 1", st.Slots[2].ShedOverload)
+	}
+}
+
+// TestColdStartWarmTransition covers the controller's cold-start
+// contract end to end: an auto-budgeted type is never deadline-shed
+// while the profiler has no estimate, and the first profile estimate
+// flips it to normal budget enforcement without touching the ledger.
+func TestColdStartWarmTransition(t *testing.T) {
+	var mean atomic.Int64 // profiled mean, installed mid-test
+	c := New(Config{}, 1, func(typ int) time.Duration {
+		return time.Duration(mean.Load())
+	})
+
+	// Cold: no profile, auto budget 0, arbitrarily old requests admit.
+	if c.Budget(0) != 0 {
+		t.Fatalf("cold budget: got %v, want 0", c.Budget(0))
+	}
+	for _, waited := range []time.Duration{0, time.Second, time.Hour} {
+		if c.ExceedsBudget(0, waited) {
+			t.Fatalf("cold start shed a request that waited %v", waited)
+		}
+	}
+	c.NoteAccepted(0)
+	c.NoteCompleted(0)
+
+	// Warm: the profiler reports 1ms, so the budget derives to
+	// AutoMult x 1ms = 20ms and enforcement starts.
+	mean.Store(int64(time.Millisecond))
+	want := time.Duration(float64(time.Millisecond) * DefaultAutoMult)
+	if got := c.Budget(0); got != want {
+		t.Fatalf("warm budget: got %v, want %v", got, want)
+	}
+	if c.ExceedsBudget(0, want) {
+		t.Fatal("warm: waited == budget must still admit")
+	}
+	if !c.ExceedsBudget(0, want+1) {
+		t.Fatal("warm: over-budget request must shed")
+	}
+	// The warm transition must not disturb the ledger.
+	st := c.Snapshot()
+	if st.Slots[0].Accepted != 1 || st.Slots[0].Completed != 1 {
+		t.Fatalf("ledger disturbed by warm transition: %+v", st.Slots[0])
+	}
+}
+
+// TestUpdateReplacesBudgets exercises the live-reconfiguration path:
+// Update swaps the explicit budgets (visible to both the dispatcher's
+// Budget and the exporter's CachedBudget), re-derives the overload
+// threshold, and preserves the accounting ledger across the swap.
+func TestUpdateReplacesBudgets(t *testing.T) {
+	c := New(Config{Budgets: []time.Duration{2 * time.Millisecond, 0}}, 2,
+		meanTable(0, 0))
+	c.NoteAccepted(0)
+	c.NoteShed(0, ShedDeadline)
+
+	if got := c.CachedBudget(0); got != 2*time.Millisecond {
+		t.Fatalf("pre-update cached budget: got %v, want 2ms", got)
+	}
+	c.Update(Config{
+		Budgets:       []time.Duration{8 * time.Millisecond, 3 * time.Millisecond},
+		UnknownBudget: 5 * time.Millisecond,
+		OverloadDelay: time.Millisecond,
+	})
+	if got := c.Budget(0); got != 8*time.Millisecond {
+		t.Fatalf("post-update budget(0): got %v, want 8ms", got)
+	}
+	if got := c.Budget(1); got != 3*time.Millisecond {
+		t.Fatalf("post-update budget(1): got %v, want 3ms", got)
+	}
+	if got := c.Budget(-1); got != 5*time.Millisecond {
+		t.Fatalf("post-update unknown budget: got %v, want 5ms", got)
+	}
+	for i, want := range []time.Duration{8 * time.Millisecond, 3 * time.Millisecond, 5 * time.Millisecond} {
+		if got := c.CachedBudget(i); got != want {
+			t.Fatalf("post-update CachedBudget(%d): got %v, want %v", i, got, want)
+		}
+	}
+	if got := c.OverloadThreshold(); got != time.Millisecond {
+		t.Fatalf("post-update overload threshold: got %v, want 1ms", got)
+	}
+	// A budget dropped back to auto (0) must clear the explicit slot.
+	c.Update(Config{Budgets: []time.Duration{0, 3 * time.Millisecond}})
+	if got := c.Budget(0); got != 0 {
+		t.Fatalf("cleared budget must auto-derive from empty profile, got %v", got)
+	}
+	// The ledger survives both updates.
+	st := c.Snapshot()
+	if st.Slots[0].Accepted != 1 || st.Slots[0].ShedDeadline != 1 {
+		t.Fatalf("ledger lost across Update: %+v", st.Slots[0])
 	}
 }

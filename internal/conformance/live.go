@@ -192,6 +192,20 @@ func shortLongTypes(spec TraceSpec) (short, long int) {
 // comparator's live-side inputs: replay spans, client accounting and
 // the reservation timeline.
 func RunLive(spec TraceSpec, tr *trace.Trace, policyName string, seed uint64, mut *Mutation) (*LiveRun, error) {
+	return runLive(spec, tr, policyName, seed, mut, nil)
+}
+
+// RunLiveDuring is RunLive plus a concurrent mid-replay hook: when the
+// replay starts, during(srv) runs on its own goroutine against the
+// live server, and the harness waits for it to return before
+// snapshotting. The reconfig-mid-trace conformance test uses it to
+// issue benign live reconfigurations while the trace replays — the
+// comparator must not be able to tell.
+func RunLiveDuring(spec TraceSpec, tr *trace.Trace, policyName string, seed uint64, during func(*psp.Server)) (*LiveRun, error) {
+	return runLive(spec, tr, policyName, seed, nil, during)
+}
+
+func runLive(spec TraceSpec, tr *trace.Trace, policyName string, seed uint64, mut *Mutation, during func(*psp.Server)) (*LiveRun, error) {
 	numTypes := tr.NumTypes()
 	if numTypes < len(spec.Mix.Types) {
 		numTypes = len(spec.Mix.Types)
@@ -278,7 +292,16 @@ func RunLive(spec TraceSpec, tr *trace.Trace, policyName string, seed uint64, mu
 	time.Sleep(liveSettle)
 	run.ReplayStart = time.Since(t0)
 
+	var hookWG sync.WaitGroup
+	if during != nil {
+		hookWG.Add(1)
+		go func() {
+			defer hookWG.Done()
+			during(srv)
+		}()
+	}
 	res, err := loadgen.ReplayUDP(u.Addr().String(), tr, loadgen.Config{Timeout: 10 * time.Second})
+	hookWG.Wait()
 	if err != nil {
 		return nil, err
 	}

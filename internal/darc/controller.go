@@ -30,6 +30,12 @@ type Controller struct {
 	pressure     bool
 	lastSnapshot []TypeStats
 
+	// desiredSpillway remembers the configured spillway width so a
+	// Resize down to a tiny pool (where that many spillway cores would
+	// leave no schedulable workers) can clamp to zero and a later
+	// Resize back up can restore it.
+	desiredSpillway int
+
 	// OnUpdate, when non-nil, is invoked after every reservation
 	// change with the new reservation (used by experiments to log core
 	// allocations over time, Figure 7).
@@ -42,8 +48,9 @@ func NewController(cfg Config, numTypes int) (*Controller, error) {
 		return nil, err
 	}
 	return &Controller{
-		cfg:  cfg,
-		prof: NewProfiler(numTypes, cfg.EWMAAlpha),
+		cfg:             cfg,
+		prof:            NewProfiler(numTypes, cfg.EWMAAlpha),
+		desiredSpillway: cfg.Spillway,
 	}, nil
 }
 
@@ -137,6 +144,13 @@ func (c *Controller) MaybeUpdate() bool {
 func (c *Controller) Resize(workers int) (bool, error) {
 	cfg := c.cfg
 	cfg.Workers = workers
+	cfg.Spillway = c.desiredSpillway
+	if cfg.Spillway >= workers {
+		// The configured spillway would consume the whole (shrunken)
+		// pool; run without designated spillway cores until the pool
+		// grows back.
+		cfg.Spillway = 0
+	}
 	if err := cfg.fill(); err != nil {
 		return false, err
 	}

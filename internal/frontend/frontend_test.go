@@ -481,3 +481,103 @@ func BenchmarkFrontendLoopback(b *testing.B) {
 		}
 	}
 }
+
+// TestFrontendEjectionCooldownReentry: ejection is a pause, not a
+// removal. Once an ejected backend's cooldown passes it must rejoin
+// the rotation — BackendHealthy flips back and fan-out returns to the
+// full degree — and a crash during an existing ejection extends the
+// cooldown without double-counting the ejection.
+func TestFrontendEjectionCooldownReentry(t *testing.T) {
+	h := &sleepHandler{serviceByType: []time.Duration{0, 0}}
+	_, b0 := newBackend(t, 2, h, nil)
+	_, b1 := newBackend(t, 2, h, nil)
+
+	const cooldown = 250 * time.Millisecond
+	fe, err := Listen("127.0.0.1:0", Config{
+		Backends:      []string{b0.Addr().String(), b1.Addr().String()},
+		FanOut:        2,
+		QueryTimeout:  time.Second,
+		EjectCooldown: cooldown,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := newQueryClient(t, fe)
+
+	// Warm-up: both backends answer, full fan-out.
+	hdr, _, corr, ok := cl.call(t, 1, typedPayload(0, "warm"), 2*time.Second)
+	if hdr.Status != proto.StatusOK {
+		t.Fatalf("warm query status = %v", hdr.Status)
+	}
+	if ok && corr.Shard != 2 {
+		t.Fatalf("warm fan-out degree = %d, want 2", corr.Shard)
+	}
+
+	// Eject backend 1 via the crash-note path (the end-to-end injected
+	// version is TestFrontendCrashEjection; here the recovery is the
+	// subject).
+	ejectedAt := time.Now()
+	fe.NoteBackendCrash(1)
+	if fe.BackendHealthy(1) {
+		t.Fatal("backend 1 healthy immediately after crash note")
+	}
+
+	// Inside the cooldown window, queries ride backend 0 alone. Guard
+	// on the clock so a slow test host cannot turn re-entry into a
+	// false failure.
+	for i := uint64(2); i <= 6; i++ {
+		if time.Since(ejectedAt) > cooldown/2 {
+			break
+		}
+		hdr, _, corr, ok := cl.call(t, i, typedPayload(0, "solo"), 2*time.Second)
+		if hdr.Status != proto.StatusOK {
+			t.Fatalf("query %d status = %v during cooldown", i, hdr.Status)
+		}
+		if ok && corr.Shard != 1 {
+			t.Fatalf("query %d fan-out degree = %d during cooldown, want 1", i, corr.Shard)
+		}
+	}
+
+	// Cooldown elapses: the backend must re-enter on its own — no
+	// probe, no operator action.
+	deadline := time.Now().Add(5 * time.Second)
+	for !fe.BackendHealthy(1) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !fe.BackendHealthy(1) {
+		t.Fatal("backend 1 never recovered after cooldown")
+	}
+	if waited := time.Since(ejectedAt); waited < cooldown {
+		t.Fatalf("backend healthy after %v, before the %v cooldown elapsed", waited, cooldown)
+	}
+
+	// And it takes traffic again: some query fans out at full degree.
+	sawFull := false
+	for i := uint64(100); i < 140 && !sawFull; i++ {
+		hdr, _, corr, ok := cl.call(t, i, typedPayload(0, "back"), 2*time.Second)
+		if hdr.Status != proto.StatusOK {
+			t.Fatalf("query %d status = %v after re-entry", i, hdr.Status)
+		}
+		sawFull = ok && corr.Shard == 2
+	}
+	if !sawFull {
+		t.Fatal("fan-out never returned to 2 after cooldown re-entry")
+	}
+
+	// Re-ejection counts once; a crash while already ejected extends
+	// the cooldown instead of inflating the ejection ledger.
+	fe.NoteBackendCrash(1)
+	fe.NoteBackendCrash(1)
+	if fe.BackendHealthy(1) {
+		t.Fatal("backend 1 healthy right after re-ejection")
+	}
+
+	if err := fe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := fe.Stats()
+	if st.Ejections != 2 {
+		t.Fatalf("ejections = %d, want 2 (extension must not re-count)", st.Ejections)
+	}
+	assertConservation(t, st)
+}

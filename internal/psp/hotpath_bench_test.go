@@ -61,7 +61,7 @@ func driveHotPath(srv *Server, r *Request) {
 	got := srv.rings[0].Get()
 	started := srv.now()
 	finished := srv.now()
-	srv.traceSpan(0, got, started, finished, srv.now())
+	srv.traceSpan(srv.traceRingFor(0), 0, got, started, finished, srv.now())
 	srv.free[0] = true
 	srv.FlushTrace()
 }
@@ -145,7 +145,7 @@ func drainOne(srv *Server) bool {
 	got := srv.rings[0].Get()
 	started := srv.now()
 	finished := srv.now()
-	srv.traceSpan(0, got, started, finished, srv.now())
+	srv.traceSpan(srv.traceRingFor(0), 0, got, started, finished, srv.now())
 	srv.free[0] = true
 	srv.FlushTrace()
 	return true

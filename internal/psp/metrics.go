@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/admission"
+	"repro/internal/reconfig"
 )
 
 // WriteMetrics renders the server's counters and per-type latency
@@ -59,6 +60,8 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	if st.Admission != nil {
 		s.writeAdmissionMetrics(&b, st.Admission)
 	}
+
+	s.writeReconfigMetrics(&b)
 
 	b.WriteString("# HELP persephone_trace_spans_total Lifecycle spans drained from worker trace rings.\n")
 	b.WriteString("# TYPE persephone_trace_spans_total counter\n")
@@ -177,6 +180,39 @@ func (s *Server) writeAdmissionMetrics(b *strings.Builder, st *admission.Stats) 
 	fmt.Fprintf(b, "persephone_admission_overloaded %d\n", overloaded)
 }
 
+// writeReconfigMetrics renders the live-reconfiguration control
+// plane's families: the pool/policy gauges every scrape should watch
+// and the counters that account for what reconfigurations did.
+func (s *Server) writeReconfigMetrics(b *strings.Builder) {
+	b.WriteString("# HELP persephone_workers_active Live worker-pool size (schedulable workers).\n")
+	b.WriteString("# TYPE persephone_workers_active gauge\n")
+	fmt.Fprintf(b, "persephone_workers_active %d\n", s.activeA.Load())
+	b.WriteString("# HELP persephone_reconfig_generation Configuration generation (bumped once per applied reconfiguration).\n")
+	b.WriteString("# TYPE persephone_reconfig_generation gauge\n")
+	fmt.Fprintf(b, "persephone_reconfig_generation %d\n", s.generation.Load())
+	b.WriteString("# HELP persephone_reconfig_applied_total Reconfigurations applied.\n")
+	b.WriteString("# TYPE persephone_reconfig_applied_total counter\n")
+	fmt.Fprintf(b, "persephone_reconfig_applied_total %d\n", s.rcApplied.Load())
+	b.WriteString("# HELP persephone_reconfig_rejected_total Reconfigurations rejected by validation.\n")
+	b.WriteString("# TYPE persephone_reconfig_rejected_total counter\n")
+	fmt.Fprintf(b, "persephone_reconfig_rejected_total %d\n", s.rcRejected.Load())
+	b.WriteString("# HELP persephone_reconfig_policy_swaps_total Scheduling-policy changes applied.\n")
+	b.WriteString("# TYPE persephone_reconfig_policy_swaps_total counter\n")
+	fmt.Fprintf(b, "persephone_reconfig_policy_swaps_total %d\n", s.rcPolicySwaps.Load())
+	b.WriteString("# HELP persephone_reconfig_resizes_total Worker-pool resizes applied.\n")
+	b.WriteString("# TYPE persephone_reconfig_resizes_total counter\n")
+	fmt.Fprintf(b, "persephone_reconfig_resizes_total %d\n", s.rcResizes.Load())
+	b.WriteString("# HELP persephone_reconfig_migrated_total Queued requests moved between queue families by policy swaps.\n")
+	b.WriteString("# TYPE persephone_reconfig_migrated_total counter\n")
+	fmt.Fprintf(b, "persephone_reconfig_migrated_total %d\n", s.rcMigrated.Load())
+	b.WriteString("# HELP persephone_reconfig_migrated_shed_total Migrating requests the target queue family had no room for (answered, not lost).\n")
+	b.WriteString("# TYPE persephone_reconfig_migrated_shed_total counter\n")
+	fmt.Fprintf(b, "persephone_reconfig_migrated_shed_total %d\n", s.rcMigratedShed.Load())
+	b.WriteString("# HELP persephone_reconfig_last_drain_ns Drain wait of the most recent worker-pool shrink, in nanoseconds.\n")
+	b.WriteString("# TYPE persephone_reconfig_last_drain_ns gauge\n")
+	fmt.Fprintf(b, "persephone_reconfig_last_drain_ns %d\n", s.rcLastDrainNs.Load())
+}
+
 func sanitizeLabel(s string) string {
 	return strings.Map(func(r rune) rune {
 		switch {
@@ -188,8 +224,9 @@ func sanitizeLabel(s string) string {
 	}, s)
 }
 
-// ServeMetrics exposes /metrics (and /healthz) on addr, returning the
-// bound address and a shutdown function. It uses a fresh mux — no
+// ServeMetrics exposes /metrics, /healthz and the runtime control
+// plane (GET /admin/config, POST /admin/reconfig) on addr, returning
+// the bound address and a shutdown function. It uses a fresh mux — no
 // global handler registration.
 func (s *Server) ServeMetrics(addr string) (bound string, shutdown func() error, err error) {
 	mux := http.NewServeMux()
@@ -204,6 +241,7 @@ func (s *Server) ServeMetrics(addr string) (bound string, shutdown func() error,
 		}
 		fmt.Fprintln(w, "ok")
 	})
+	mux.Handle("/admin/", reconfig.AdminHandler(s))
 	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	ln, err := newListener(addr)
 	if err != nil {

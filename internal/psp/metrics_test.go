@@ -218,6 +218,18 @@ func TestWriteMetricsGolden(t *testing.T) {
 	ts.recordDepth(500, 1)
 	srv.attachTCP(ts)
 
+	// Hand-plant the reconfiguration control plane: three applied specs
+	// (two policy swaps, one resize that migrated seven requests and
+	// shed one) plus one rejection and a 1.5ms drain wait.
+	srv.generation.Store(3)
+	srv.rcApplied.Store(3)
+	srv.rcRejected.Store(1)
+	srv.rcPolicySwaps.Store(2)
+	srv.rcResizes.Store(1)
+	srv.rcMigrated.Store(7)
+	srv.rcMigratedShed.Store(1)
+	srv.rcLastDrainNs.Store(1_500_000)
+
 	var buf bytes.Buffer
 	if err := srv.WriteMetrics(&buf); err != nil {
 		t.Fatal(err)

@@ -17,7 +17,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -210,6 +209,38 @@ type Server struct {
 	unknown reqFIFO
 	free    []bool // worker idle, dispatcher's view
 
+	// Live-mutable scheduling state (dispatcher-owned after Start).
+	// mode starts as cfg.Mode and policy swaps replace it; modeA
+	// mirrors it for cross-goroutine snapshots. active is the live
+	// worker-pool size: rings/free/retiring keep their historical
+	// maximum length and [0, active) is the schedulable prefix, so a
+	// stale reservation can never index a retired slot's state away.
+	mode     Mode
+	modeA    atomic.Int64
+	active   int
+	activeA  atomic.Int64
+	retiring []bool // worker is draining out of a shrunk pool
+
+	// Reconfiguration control plane: ops queue under rcMu (rcPending
+	// mirrors its length so the dispatcher's hot loop checks one
+	// atomic), at most one op in flight at a time (pendingOp while a
+	// shrink waits on retiring workers).
+	rcMu      sync.Mutex
+	rcOps     []*reconfigOp
+	rcClosed  bool
+	rcPending atomic.Int32
+	pendingOp *reconfigOp
+
+	// Reconfiguration telemetry (persephone_reconfig_* families).
+	generation     atomic.Uint64
+	rcApplied      atomic.Uint64
+	rcRejected     atomic.Uint64
+	rcPolicySwaps  atomic.Uint64
+	rcResizes      atomic.Uint64
+	rcMigrated     atomic.Uint64
+	rcMigratedShed atomic.Uint64
+	rcLastDrainNs  atomic.Int64
+
 	// d-FCFS state: one queue per worker plus the xorshift steering
 	// state (dispatcher-only).
 	workerQ []reqFIFO
@@ -221,6 +252,7 @@ type Server struct {
 
 	start   time.Time
 	nextID  atomic.Uint64
+	started atomic.Bool
 	stopped atomic.Bool
 	wg      sync.WaitGroup
 
@@ -244,6 +276,7 @@ type Server struct {
 	// under traceMu into per-type histograms (and the optional sink),
 	// so the hot path never allocates or takes a lock for tracing.
 	traceRings  []*spsc.Ring[trace.Span]
+	traceCap    int // per-ring span capacity, for rings added on grow
 	traceLost   atomic.Uint64
 	traceMu     sync.Mutex
 	traceSink   func(trace.Span)
@@ -337,34 +370,31 @@ func NewServer(cfg Config) (*Server, error) {
 		s.queues[i].cap = cfg.QueueCap
 	}
 	s.unknown.cap = cfg.QueueCap
+	s.mode = cfg.Mode
+	s.modeA.Store(int64(cfg.Mode))
+	s.active = cfg.Workers
+	s.activeA.Store(int64(cfg.Workers))
+	s.retiring = make([]bool, cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		s.rings = append(s.rings, spsc.NewRing[*Request](8))
 		s.free[i] = true
 	}
+	s.steer = cfg.SteerSeed
+	if s.steer == 0 {
+		s.steer = 0x9E3779B97F4A7C15
+	}
 	switch cfg.Mode {
 	case ModeDFCFS:
-		s.workerQ = make([]reqFIFO, cfg.Workers)
-		for i := range s.workerQ {
-			s.workerQ[i].cap = cfg.QueueCap
-		}
-		s.steer = cfg.SteerSeed
-		if s.steer == 0 {
-			s.steer = 0x9E3779B97F4A7C15
-		}
+		s.ensureWorkerQ()
 	case ModeDARCStatic:
-		s.staticOrder = make([]int, numTypes)
-		for i := range s.staticOrder {
-			s.staticOrder[i] = i
-		}
-		sort.SliceStable(s.staticOrder, func(a, b int) bool {
-			return cfg.StaticMeans[s.staticOrder[a]] < cfg.StaticMeans[s.staticOrder[b]]
-		})
+		s.staticOrder = staticOrderFor(cfg.StaticMeans, numTypes)
 	}
 	if cfg.TraceCap >= 0 {
 		capSpans := cfg.TraceCap
 		if capSpans == 0 {
 			capSpans = 4096
 		}
+		s.traceCap = capSpans
 		s.traceRings = make([]*spsc.Ring[trace.Span], cfg.Workers)
 		for i := range s.traceRings {
 			s.traceRings[i] = spsc.NewRing[trace.Span](capSpans)
@@ -381,12 +411,21 @@ func NewServer(cfg Config) (*Server, error) {
 // Start launches the dispatcher and worker goroutines.
 func (s *Server) Start() {
 	s.start = time.Now()
+	s.started.Store(true)
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
-		go s.workerLoop(i)
+		go s.workerLoop(i, s.rings[i], s.traceRingFor(i))
 	}
 	s.wg.Add(1)
 	go s.dispatcherLoop()
+}
+
+// traceRingFor returns worker w's span ring (nil when tracing is off).
+func (s *Server) traceRingFor(w int) *spsc.Ring[trace.Span] {
+	if s.traceRings == nil || w >= len(s.traceRings) {
+		return nil
+	}
+	return s.traceRings[w]
 }
 
 // Stop shuts the pipeline down and waits for goroutines to exit.
@@ -491,6 +530,13 @@ func (s *Server) dispatcherLoop() {
 	idleSpins := 0
 	for {
 		progress := false
+		// 0. Control plane: begin the next reconfiguration, one at a
+		// time — an op waiting on retiring workers blocks later ops so
+		// every spec applies against a settled pool.
+		if s.pendingOp == nil && s.rcPending.Load() > 0 {
+			s.beginOp(s.takeOp())
+			progress = true
+		}
 		// 1. Completions: free workers and feed the profiler.
 		for {
 			c, ok := s.compRing.TryGet()
@@ -498,18 +544,34 @@ func (s *Server) dispatcherLoop() {
 				break
 			}
 			progress = true
-			s.free[c.worker] = true
-			if c.respawn {
+			if !c.respawn {
+				s.ctl.Observe(c.typ, c.service)
+				if s.adm != nil {
+					s.adm.NoteCompleted(c.typ)
+				}
+				if s.mode == ModeDARC {
+					s.maybeUpdateReservation()
+				}
+				s.record(c)
+			}
+			if s.retiring[c.worker] {
+				// A retiring worker's final act: its completion (real
+				// or respawn) is booked above, then the slot gets its
+				// shutdown sentinel instead of returning to the free
+				// set. The goroutine exits on consuming it.
+				s.retiring[c.worker] = false
+				s.rings[c.worker].Put(nil)
+				if s.pendingOp != nil {
+					s.pendingOp.retireLeft--
+				}
 				continue
 			}
-			s.ctl.Observe(c.typ, c.service)
-			if s.adm != nil {
-				s.adm.NoteCompleted(c.typ)
-			}
-			if s.cfg.Mode == ModeDARC {
-				s.maybeUpdateReservation()
-			}
-			s.record(c)
+			s.free[c.worker] = true
+		}
+		// 1b. A pending shrink completes once its last retiree drained.
+		if op := s.pendingOp; op != nil && op.retireLeft == 0 {
+			s.finishOp(op)
+			progress = true
 		}
 		// 2. Ingress: classify and enqueue.
 		for {
@@ -594,7 +656,7 @@ func (s *Server) enqueue(r *Request) {
 		}
 	}
 	q := &s.unknown
-	if s.cfg.Mode == ModeDFCFS {
+	if s.mode == ModeDFCFS {
 		// d-FCFS steers each arrival to one worker's private queue,
 		// type notwithstanding (RSS hashes flows, not request types).
 		q = &s.workerQ[s.steerNext()]
@@ -626,7 +688,7 @@ func (s *Server) steerNext() int {
 	x ^= x >> 7
 	x ^= x << 17
 	s.steer = x
-	return int(x % uint64(len(s.workerQ)))
+	return int(x % uint64(s.active))
 }
 
 // shed refuses a request under admission control: the submitter gets
@@ -730,15 +792,15 @@ func (s *Server) record(c completion) {
 func (s *Server) dispatch() bool {
 	moved := false
 	switch {
-	case s.cfg.Mode == ModeDFCFS:
+	case s.mode == ModeDFCFS:
 		for s.dispatchDFCFS() {
 			moved = true
 		}
-	case s.cfg.Mode == ModeDARCStatic:
+	case s.mode == ModeDARCStatic:
 		for s.dispatchDARCStatic() {
 			moved = true
 		}
-	case s.cfg.Mode == ModeCFCFS, s.ctl.Reservation() == nil:
+	case s.mode == ModeCFCFS, s.ctl.Reservation() == nil:
 		for s.dispatchFCFS() {
 			moved = true
 		}
@@ -754,8 +816,8 @@ func (s *Server) dispatch() bool {
 // workers never share work (uncontrolled non-work-conservation).
 func (s *Server) dispatchDFCFS() bool {
 	moved := false
-	for w, f := range s.free {
-		if !f || s.workerQ[w].empty() {
+	for w := 0; w < s.active; w++ {
+		if !s.free[w] || s.workerQ[w].empty() {
 			continue
 		}
 		r, shedAny := s.popAdmit(&s.workerQ[w])
@@ -817,7 +879,7 @@ func (s *Server) dispatchDARCStatic() bool {
 
 // firstFreeFrom returns the lowest free worker with ID >= lo, or -1.
 func (s *Server) firstFreeFrom(lo int) int {
-	for w := lo; w < len(s.free); w++ {
+	for w := lo; w < s.active; w++ {
 		if s.free[w] {
 			return w
 		}
@@ -826,13 +888,7 @@ func (s *Server) firstFreeFrom(lo int) int {
 }
 
 func (s *Server) dispatchFCFS() bool {
-	w := -1
-	for i, f := range s.free {
-		if f {
-			w = i
-			break
-		}
-	}
+	w := s.anyFree()
 	if w < 0 {
 		return false
 	}
@@ -905,22 +961,26 @@ func (s *Server) dispatchDARC() bool {
 }
 
 func (s *Server) anyFree() int {
-	for i, f := range s.free {
-		if f {
+	for i := 0; i < s.active; i++ {
+		if s.free[i] {
 			return i
 		}
 	}
 	return -1
 }
 
+// firstFree picks the first free worker from the reservation's lists.
+// The id < active bound guards against a stale reservation referencing
+// workers a shrink has already retired (possible when the controller
+// had no profile to recompute from at resize time).
 func (s *Server) firstFree(reserved, stealable []int) int {
 	for _, id := range reserved {
-		if s.free[id] {
+		if id < s.active && s.free[id] {
 			return id
 		}
 	}
 	for _, id := range stealable {
-		if s.free[id] {
+		if id < s.active && s.free[id] {
 			return id
 		}
 	}
@@ -942,8 +1002,24 @@ func (s *Server) handoff(w int, r *Request) {
 }
 
 // drainAndShutdown answers queued requests with drops and unblocks
-// workers with sentinels.
+// workers with sentinels. Pending and queued reconfigurations fail
+// with ErrServerStopped so no Reconfigure caller is left hanging.
 func (s *Server) drainAndShutdown() {
+	s.rcMu.Lock()
+	s.rcClosed = true
+	ops := s.rcOps
+	s.rcOps = nil
+	s.rcPending.Store(0)
+	s.rcMu.Unlock()
+	if op := s.pendingOp; op != nil {
+		s.pendingOp = nil
+		op.err = ErrServerStopped
+		close(op.done)
+	}
+	for _, op := range ops {
+		op.err = ErrServerStopped
+		close(op.done)
+	}
 	for {
 		r, ok := s.ingress.TryGet()
 		if !ok {
@@ -971,15 +1047,18 @@ func (s *Server) drainAndShutdown() {
 }
 
 // workerLoop executes requests and transmits responses directly (the
-// paper's workers own TX).
-func (s *Server) workerLoop(id int) {
+// paper's workers own TX). The request and span rings are passed by
+// value: a slot reactivated after retirement gets a fresh request
+// ring, and binding the pair at spawn keeps the SPSC single-consumer
+// discipline even while the previous tenant is still consuming its
+// own sentinel.
+func (s *Server) workerLoop(id int, ring *spsc.Ring[*Request], traceRing *spsc.Ring[trace.Span]) {
 	defer s.wg.Done()
 	if s.cfg.PinThreads {
 		runtime.LockOSThread()
 		defer runtime.UnlockOSThread()
 	}
 	scratch := make([]byte, s.cfg.ResponseBuf)
-	ring := s.rings[id]
 	for {
 		r := ring.Get()
 		if r == nil {
@@ -996,7 +1075,7 @@ func (s *Server) workerLoop(id int) {
 			s.drop(r)
 			s.restarts.Add(1)
 			s.wg.Add(1)
-			go s.respawnWorker(id)
+			go s.respawnWorker(id, ring, traceRing)
 			return
 		}
 		startDur := s.now()
@@ -1033,7 +1112,7 @@ func (s *Server) workerLoop(id int) {
 		if r.buf != nil {
 			r.buf.Release()
 		}
-		s.traceSpan(id, r, startDur, finished, s.now())
+		s.traceSpan(traceRing, id, r, startDur, finished, s.now())
 		s.putCompletion(completion{
 			worker:  id,
 			typ:     r.typ,
@@ -1047,11 +1126,12 @@ func (s *Server) workerLoop(id int) {
 // respawnWorker brings a crashed worker slot back after the injected
 // respawn delay. The replacement announces itself with a respawn
 // completion so the dispatcher frees the slot only once the worker is
-// actually consuming its ring again.
-func (s *Server) respawnWorker(id int) {
+// actually consuming its ring again. It inherits the crashed tenant's
+// rings: the slot was never retired, so the consumer seat is vacant.
+func (s *Server) respawnWorker(id int, ring *spsc.Ring[*Request], traceRing *spsc.Ring[trace.Span]) {
 	time.Sleep(s.inj.RespawnDelay())
 	s.putCompletion(completion{worker: id, respawn: true})
-	s.workerLoop(id)
+	s.workerLoop(id, ring, traceRing)
 }
 
 // putCompletion delivers a completion to the dispatcher, spinning if

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/spsc"
 	"repro/internal/trace"
 )
 
@@ -20,10 +21,11 @@ import (
 // in TraceLost — tracing is free when unread.
 
 // traceSpan publishes one completed request's lifecycle record from
-// worker w's goroutine. Allocation-free; drops (counted) when the
+// worker w's goroutine into the ring bound to it at spawn (nil when
+// tracing is disabled). Allocation-free; drops (counted) when the
 // ring is full.
-func (s *Server) traceSpan(w int, r *Request, started, finished, replied time.Duration) {
-	if s.traceRings == nil {
+func (s *Server) traceSpan(ring *spsc.Ring[trace.Span], w int, r *Request, started, finished, replied time.Duration) {
+	if ring == nil {
 		return
 	}
 	sp := trace.Span{
@@ -38,7 +40,7 @@ func (s *Server) traceSpan(w int, r *Request, started, finished, replied time.Du
 		Finished:   finished,
 		Replied:    replied,
 	}
-	if !s.traceRings[w].TryPut(sp) {
+	if !ring.TryPut(sp) {
 		s.traceLost.Add(1)
 	}
 }

@@ -1,0 +1,64 @@
+package reconfig
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// AdminHandler serves the runtime control plane over HTTP:
+//
+//	GET  /admin/config   — the current Snapshot, as JSON
+//	POST /admin/reconfig — apply a Spec; fields arrive as form values
+//	                       (or query parameters) in ParseSpec's
+//	                       key=value vocabulary, e.g.
+//	                       curl -X POST 'host:port/admin/reconfig' \
+//	                            -d policy=cfcfs -d workers=6
+//
+// A malformed spec answers 400; a spec the server rejects (unknown
+// policy, admission disabled, resize out of range) answers 409 with
+// the server's error; success answers 200 with the Result as JSON.
+// Mount it on the same mux as /metrics (psp's ServeMetrics does).
+func AdminHandler(t Target) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/admin/config", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, http.StatusOK, t.ConfigSnapshot())
+	})
+	mux.HandleFunc("/admin/reconfig", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		if err := r.ParseForm(); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		kv := make(map[string]string, len(r.Form))
+		for k, vs := range r.Form {
+			if len(vs) > 0 {
+				kv[k] = vs[len(vs)-1]
+			}
+		}
+		sp, err := ParseSpec(kv)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := t.Reconfigure(sp)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}

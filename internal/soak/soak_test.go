@@ -1,0 +1,97 @@
+package soak
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSoakShort is the CI smoke soak: three seeds, each interleaving
+// fault injection with 50+ randomized reconfigurations under load,
+// with every conservation invariant asserted. Run under -race in CI
+// (the soak-smoke job); `go test ./internal/soak` runs the same seeds.
+func TestSoakShort(t *testing.T) {
+	reconfigs := 60
+	epoch := 2 * time.Millisecond
+	if testing.Short() {
+		reconfigs = 50
+		epoch = time.Millisecond
+	}
+	for _, seed := range []uint64{1, 7, 42} {
+		seed := seed
+		t.Run(string(rune('A'+seed%26)), func(t *testing.T) {
+			rep, err := Run(Config{
+				Seed:      seed,
+				Reconfigs: reconfigs,
+				Workers:   4,
+				Epoch:     epoch,
+				Faults:    true,
+				Logf:      t.Logf,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range rep.Violations {
+				t.Errorf("violation: %s", v)
+			}
+			if rep.Submitted == 0 {
+				t.Fatal("no load submitted")
+			}
+			if rep.FinalGeneration != uint64(reconfigs) {
+				t.Fatalf("final generation %d, want %d", rep.FinalGeneration, reconfigs)
+			}
+			if rep.PolicySwaps+rep.Resizes == 0 {
+				t.Fatal("schedule produced no swaps or resizes")
+			}
+		})
+	}
+}
+
+// TestSoakNoFaults pins the stricter fault-free contract: zero drops
+// of any kind across the whole run.
+func TestSoakNoFaults(t *testing.T) {
+	rep, err := Run(Config{
+		Seed:      3,
+		Reconfigs: 30,
+		Workers:   3,
+		Epoch:     time.Millisecond,
+		Faults:    false,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.Dropped != 0 {
+		t.Fatalf("%d drops without faults", rep.Dropped)
+	}
+	if rep.WorkerRestarts != 0 || rep.FaultsInjected != 0 {
+		t.Fatalf("faults fired while disabled: %d injected, %d restarts",
+			rep.FaultsInjected, rep.WorkerRestarts)
+	}
+}
+
+// TestSoakDeterministicSchedule checks that equal seeds produce equal
+// reconfiguration schedules (the load interleaving varies, the decision
+// sequence must not).
+func TestSoakDeterministicSchedule(t *testing.T) {
+	run := func() *Report {
+		rep, err := Run(Config{
+			Seed:      11,
+			Reconfigs: 25,
+			Workers:   3,
+			Epoch:     500 * time.Microsecond,
+			Faults:    false,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.PolicySwaps != b.PolicySwaps || a.Resizes != b.Resizes ||
+		a.AdmissionUpdates != b.AdmissionUpdates || a.DARCRefreshes != b.DARCRefreshes {
+		t.Fatalf("schedules diverged for equal seeds:\n  a: %s\n  b: %s", a.Summary(), b.Summary())
+	}
+}

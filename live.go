@@ -13,6 +13,7 @@ import (
 	"repro/internal/loadgen"
 	"repro/internal/proto"
 	"repro/internal/psp"
+	"repro/internal/reconfig"
 	"repro/internal/trace"
 )
 
@@ -177,6 +178,30 @@ type LiveServer = psp.Server
 
 // LiveStats is a snapshot of live-server metrics.
 type LiveStats = psp.Stats
+
+// ReconfigSpec is a declarative live-reconfiguration request for
+// LiveServer.Reconfigure: swap the scheduling policy, resize the
+// worker pool, retune admission budgets, or force a DARC reservation
+// refresh — atomically and without dropping in-flight requests. Build
+// one directly or decode the admin/HTTP form with ParseReconfigSpec.
+type ReconfigSpec = reconfig.Spec
+
+// ReconfigResult reports what a reconfiguration actually changed,
+// including the drain wait for retired workers and the new
+// configuration generation.
+type ReconfigResult = reconfig.Result
+
+// ReconfigSnapshot is the current runtime configuration as reported
+// by LiveServer.ConfigSnapshot and the GET /admin/config endpoint.
+type ReconfigSnapshot = reconfig.Snapshot
+
+// ParseReconfigSpec decodes a reconfiguration spec from key=value
+// lines (comments and blanks allowed) — the same format psp-server's
+// -reconfig-file SIGHUP reload and the POST /admin/reconfig form
+// accept (e.g. "policy=cfcfs\nworkers=6").
+func ParseReconfigSpec(text string) (ReconfigSpec, error) {
+	return reconfig.ParseSpecFile(text)
+}
 
 // NewLiveServerStopped translates a LiveConfig into a configured but
 // not yet started pipeline — the single config path behind every live
@@ -393,31 +418,6 @@ type LoadResult = loadgen.Result
 // retry-after hint plus jittered backoff, up to rc.MaxRetries.
 func RunLoad(rc LoadRunConfig) (*LoadResult, error) {
 	return loadgen.Run(rc)
-}
-
-// GenerateLoad runs the open-loop Poisson client against an in-process
-// live server.
-//
-// Deprecated: use RunLoad with a LoadRunConfig naming the Server.
-func GenerateLoad(srv *LiveServer, cfg LoadConfig) (*LoadResult, error) {
-	return loadgen.Run(loadgen.RunConfig{Config: cfg, Transport: loadgen.TransportInProcess, Server: srv})
-}
-
-// GenerateLoadUDP runs the open-loop Poisson client against a UDP
-// server address.
-//
-// Deprecated: use RunLoad with Transport "udp".
-func GenerateLoadUDP(addr string, cfg LoadConfig) (*LoadResult, error) {
-	return loadgen.Run(loadgen.RunConfig{Config: cfg, Transport: loadgen.TransportUDP, Addr: addr})
-}
-
-// GenerateLoadTCP runs the open-loop Poisson client against a TCP
-// server address over cfg.Conns pipelined connections with up to
-// cfg.Pipeline requests in flight on each.
-//
-// Deprecated: use RunLoad with Transport "tcp".
-func GenerateLoadTCP(addr string, cfg LoadConfig) (*LoadResult, error) {
-	return loadgen.Run(loadgen.RunConfig{Config: cfg, Transport: loadgen.TransportTCP, Addr: addr})
 }
 
 // Timeout helper so examples don't import time for one constant.

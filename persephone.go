@@ -70,7 +70,7 @@ type SimConfig struct {
 	Workers int
 	// Mix is the workload.
 	Mix Mix
-	// Policy selects the scheduler by name; see ParsePolicy.
+	// Policy selects the scheduler by name; see ParsePolicySpec.
 	Policy string
 	// LoadFraction is the offered load as a fraction of the mix's
 	// peak for this worker count; Rate (requests/second) overrides it.

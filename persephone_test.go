@@ -170,7 +170,7 @@ func TestLiveServerFacade(t *testing.T) {
 	}
 }
 
-func TestGenerateLoadFacade(t *testing.T) {
+func TestRunLoadFacade(t *testing.T) {
 	srv, err := persephone.NewLiveServer(persephone.LiveConfig{
 		Workers:    2,
 		Classifier: persephone.FieldClassifier(0, 2),
@@ -182,11 +182,15 @@ func TestGenerateLoadFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Stop()
-	res, err := persephone.GenerateLoad(srv, persephone.LoadConfig{
-		Mix:      persephone.TwoType("a", time.Microsecond, 0.5, "b", 2*time.Microsecond),
-		Rate:     1000,
-		Duration: 200 * time.Millisecond,
-		Seed:     1,
+	res, err := persephone.RunLoad(persephone.LoadRunConfig{
+		Config: persephone.LoadConfig{
+			Mix:      persephone.TwoType("a", time.Microsecond, 0.5, "b", 2*time.Microsecond),
+			Rate:     1000,
+			Duration: 200 * time.Millisecond,
+			Seed:     1,
+		},
+		Transport: persephone.LoadTransportInProcess,
+		Server:    srv,
 	})
 	if err != nil {
 		t.Fatal(err)
